@@ -1,0 +1,12 @@
+"""Helpers shared by the benchmark modules."""
+
+
+def emit(result) -> None:
+    """Print a rendered experiment result into the benchmark output.
+
+    Benchmarks run with ``-s``-less pytest capture; printed tables still show
+    up in the captured output section and in ``bench_output.txt`` when the
+    suite is run with ``tee``.
+    """
+    print()
+    print(result)

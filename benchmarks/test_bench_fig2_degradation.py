@@ -1,0 +1,38 @@
+"""E-FIG2 — Fig. 2: the depth-degradation motivational experiment.
+
+LuNet (the plain CNN+GRU stack) is trained at increasing depth on UNSW-NB15.
+The paper's observation: accuracy does not keep improving with depth — beyond
+a moderate number of parameter layers it *degrades*, which is the motivation
+for residual learning.
+"""
+
+from bench_utils import emit
+
+from repro.experiments import figure2
+
+#: Block counts swept by the benchmark (5 … 41 parameter layers).  A subset of
+#: the full 1..10 sweep keeps the benchmark's runtime manageable while still
+#: covering the shallow, middle and deep ends of the paper's x-axis.
+BLOCK_COUNTS = [1, 2, 3, 5, 7, 10]
+
+
+def test_fig2_lunet_depth_degradation(run_once, scale, seed, check_claims):
+    result = run_once(
+        figure2,
+        dataset="unsw-nb15",
+        scale=scale,
+        block_counts=BLOCK_COUNTS,
+        seed=seed,
+    )
+    emit(result.curves())
+
+    assert result.parameter_layers == [4 * blocks + 1 for blocks in BLOCK_COUNTS]
+    assert len(result.testing_accuracy) == len(BLOCK_COUNTS)
+    if not check_claims:
+        return
+
+    # The paper's qualitative claim: the deepest plain network is worse than
+    # the best shallower one (testing accuracy degrades with depth).
+    assert result.degradation_observed()
+    # And the degradation is substantial, not a rounding artefact.
+    assert max(result.testing_accuracy) - result.testing_accuracy[-1] > 0.02

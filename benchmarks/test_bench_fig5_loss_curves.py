@@ -1,0 +1,42 @@
+"""E-FIG5 — Fig. 5 (a-d): training and testing loss curves of the four networks.
+
+The paper's claims encoded here:
+
+* for networks of the same depth, the residual network reaches a (much) lower
+  training loss than the plain network;
+* adding layers to the *plain* network makes its loss worse (Plain-41 above
+  Plain-21), while the residual family tolerates the extra depth;
+* the same orderings hold on both datasets.
+"""
+
+import pytest
+from bench_utils import emit
+
+from repro.experiments import figure5
+
+
+@pytest.mark.parametrize("dataset", ["unsw-nb15", "nsl-kdd"])
+def test_fig5_loss_curves(run_once, scale, seed, check_claims, dataset):
+    curves = run_once(figure5, dataset=dataset, scale=scale, seed=seed)
+    emit(curves["train"])
+    emit(curves["test"])
+
+    train_final = curves["train"].final_values()
+    test_final = curves["test"].final_values()
+    assert set(train_final) == {"plain-21", "residual-21", "plain-41", "residual-41"}
+    assert set(test_final) == set(train_final)
+    if not check_claims:
+        return
+
+    # Residual beats plain at equal depth (training loss), Fig. 5 (a)/(c).
+    assert train_final["residual-21"] < train_final["plain-21"]
+    assert train_final["residual-41"] < train_final["plain-41"]
+
+    # The plain family degrades with depth; the residual family does not
+    # degrade anywhere near as much.
+    assert train_final["plain-41"] > train_final["plain-21"]
+    assert train_final["residual-41"] < train_final["plain-21"]
+
+    # On the held-out portion the deep residual network still beats the deep
+    # plain network, Fig. 5 (b)/(d).
+    assert test_final["residual-41"] < test_final["plain-41"]

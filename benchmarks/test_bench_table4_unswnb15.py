@@ -1,0 +1,44 @@
+"""E-TAB4 — Table IV: testing performance on UNSW-NB15 (DR / ACC / FAR).
+
+Paper shape to reproduce: UNSW-NB15 is markedly harder than NSL-KDD (accuracy
+drops from the high-90s to the 80s), the deep plain network degrades, and the
+residual networks keep both the highest accuracy and the lowest false-alarm
+rates of the four.
+"""
+
+from bench_utils import emit
+
+from repro.experiments import table3, table4
+
+
+def test_table4_unswnb15_performance(run_once, scale, seed, check_claims):
+    table = run_once(table4, scale=scale, seed=seed)
+    emit(table)
+    assert len(table.rows) == 4
+    if not check_claims:
+        return
+
+    accuracy = {row["model"]: row["acc_percent"] for row in table.rows}
+    far = {row["model"]: row["far_percent"] for row in table.rows}
+
+    # Residual beats plain at the full 41-layer depth, and Plain-41 degrades.
+    assert accuracy["residual-41"] > accuracy["plain-41"]
+    assert accuracy["plain-41"] == min(accuracy.values())
+
+    # The best residual network has a false-alarm rate no worse than the plain
+    # networks (the paper's Table IV shows 1.30 % vs 2.37 / 4.29 %).  A plain
+    # network that has degraded into predicting (almost) everything as normal
+    # gets a trivially low FAR, so only plain networks that still detect a
+    # majority of attacks are meaningful FAR comparators.
+    detection = {row["model"]: row["dr_percent"] for row in table.rows}
+    comparable_plain_fars = [
+        far[name] for name in ("plain-21", "plain-41") if detection[name] > 50.0
+    ]
+    if comparable_plain_fars:
+        assert far["residual-41"] <= min(comparable_plain_fars) + 1.0
+
+    # UNSW-NB15 is the harder dataset: accuracy sits well below the NSL-KDD
+    # values produced by the same networks (paper: ~86 % vs ~99 %).
+    nsl = table3(scale=scale, seed=seed)
+    nsl_accuracy = {row["model"]: row["acc_percent"] for row in nsl.rows}
+    assert accuracy["residual-41"] < nsl_accuracy["residual-41"]

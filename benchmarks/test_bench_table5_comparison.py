@@ -1,0 +1,38 @@
+"""E-TAB5 — Table V: Pelican vs classical techniques on UNSW-NB15.
+
+The paper's comparative study pits Pelican against AdaBoost, SVM (RBF),
+HAST-IDS, CNN, LSTM, MLP, Random Forest and LuNet.  The shape to reproduce:
+the boosting/kernel baselines trail badly, the deep spatio-temporal models
+cluster in the middle, and Pelican delivers the strongest detection with the
+lowest false-alarm band.  (At this reduced data scale the tree ensemble is
+relatively stronger than in the paper — see EXPERIMENTS.md.)
+"""
+
+from bench_utils import emit
+
+from repro.experiments import table5
+
+
+def test_table5_comparative_study(run_once, scale, seed, check_claims):
+    table = run_once(table5, scale=scale, seed=seed)
+    emit(table)
+    assert len(table.rows) == 9
+    if not check_claims:
+        return
+
+    accuracy = {row["model"]: row["acc_percent"] for row in table.rows}
+    far = {row["model"]: row["far_percent"] for row in table.rows}
+    detection = {row["model"]: row["dr_percent"] for row in table.rows}
+
+    # The weak classical baselines trail Pelican, as in the paper.
+    assert accuracy["pelican"] > accuracy["adaboost"]
+    assert accuracy["pelican"] > accuracy["svm-rbf"]
+
+    # Pelican's false-alarm rate stays in the low band ("much low false alarm
+    # rate" is the paper's headline; 1.30 % at full scale).  The reduced-scale
+    # run is noisier, so the band is asserted rather than strict first place.
+    assert far["pelican"] < 15.0
+    assert far["pelican"] < far["adaboost"] + 5.0
+
+    # Pelican detects the overwhelming majority of attacks (paper: 97.75 %).
+    assert detection["pelican"] > 85.0

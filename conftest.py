@@ -1,0 +1,24 @@
+"""Pytest root configuration.
+
+Ensures ``src/`` is importable even when the package has not been installed
+(the offline environment lacks the ``wheel`` package needed by modern
+``pip install -e .``), and registers the shared random seed fixture.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC_DIR = Path(__file__).resolve().parent / "src"
+if str(SRC_DIR) not in sys.path:
+    sys.path.insert(0, str(SRC_DIR))
+
+
+@pytest.fixture(autouse=True)
+def _seed_framework():
+    """Seed the framework RNG before every test for reproducibility."""
+    from repro.nn import random as nn_random
+
+    nn_random.seed(1234)
+    yield

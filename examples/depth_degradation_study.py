@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's motivational experiment (Fig. 2) and its fix.
+
+Part 1 — degradation: LuNet (the plain CNN+GRU stack) is trained at increasing
+depth on UNSW-NB15; beyond a moderate depth its accuracy stops improving and
+starts to fall, which is the problem statement of the paper.
+
+Part 2 — residual learning: the same depths are retrained with residual blocks
+(the Pelican family), showing that the identity shortcuts remove the
+degradation.
+
+Run with::
+
+    python examples/depth_degradation_study.py --depths 1 3 5 --scale smoke
+    python examples/depth_degradation_study.py                     # bench scale
+"""
+
+import argparse
+
+from repro.core import (
+    Trainer,
+    build_residual_network,
+    compile_for_paper,
+    get_scale,
+    parameter_layer_count,
+    scaled_config,
+)
+from repro.data import get_schema, load_unswnb15
+from repro.experiments import figure2
+from repro.experiments.results import ascii_plot
+from repro.preprocessing import IDSPreprocessor
+
+
+def residual_sweep(block_counts, scale, seed):
+    """Train residual networks over the same depth sweep as Fig. 2."""
+    schema = get_schema("unsw-nb15")
+    records = load_unswnb15(n_records=scale.n_records, seed=seed)
+    split = IDSPreprocessor(schema).holdout_split(
+        records, test_fraction=1.0 / scale.n_splits, seed=seed
+    )
+    config = scaled_config("unsw-nb15", scale)
+    trainer = Trainer(config, validation_during_training=False)
+
+    accuracies = []
+    for blocks in block_counts:
+        network = compile_for_paper(
+            build_residual_network(blocks, split.num_classes, config, seed=seed), config
+        )
+        trainer.train(network, split)
+        accuracies.append(float(network.evaluate(split.test.inputs, split.test.targets)["accuracy"]))
+    return accuracies
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="bench", choices=["smoke", "bench", "full"])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--depths", type=int, nargs="*", default=[1, 2, 4, 6, 8, 10],
+        help="block counts to sweep (4*blocks+1 parameter layers each)",
+    )
+    arguments = parser.parse_args()
+    scale = get_scale(arguments.scale)
+
+    print(f"Part 1 — plain (LuNet) depth sweep on UNSW-NB15 at scale '{scale.name}'")
+    plain = figure2(
+        dataset="unsw-nb15", scale=scale, block_counts=arguments.depths, seed=arguments.seed
+    )
+    print(plain.curves())
+    verdict = "observed" if plain.degradation_observed() else "not observed"
+    print(f"depth degradation: {verdict}")
+
+    print()
+    print("Part 2 — the same depths with residual blocks")
+    residual_accuracy = residual_sweep(arguments.depths, scale, arguments.seed)
+    layers = [float(parameter_layer_count(blocks)) for blocks in arguments.depths]
+    print(
+        ascii_plot(
+            layers,
+            {
+                "plain (LuNet) testing acc": plain.testing_accuracy,
+                "residual testing acc": residual_accuracy,
+            },
+        )
+    )
+    deepest = arguments.depths[-1]
+    print(
+        f"at {parameter_layer_count(deepest)} parameter layers: "
+        f"plain={plain.testing_accuracy[-1]:.3f} vs residual={residual_accuracy[-1]:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

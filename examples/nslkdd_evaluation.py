@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's four-network NSL-KDD evaluation (Tables II & III).
+
+Trains Plain-21, Residual-21, Plain-41 and Residual-41 (Pelican) on synthetic
+NSL-KDD traffic at a reduced scale and prints:
+
+* Table II style TP / FP counts,
+* Table III style DR / ACC / FAR percentages,
+* the Fig. 5(c)/(d) loss curves as ASCII plots.
+
+Run with::
+
+    python examples/nslkdd_evaluation.py            # 'bench' scale (~1 minute)
+    python examples/nslkdd_evaluation.py --scale smoke   # seconds, plumbing only
+"""
+
+import argparse
+
+from repro.core import get_scale
+from repro.experiments import figure5, run_four_network_study
+from repro.experiments.paper_values import TABLE2_TP_FP, TABLE3_NSLKDD
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="bench", choices=["smoke", "bench", "full"])
+    parser.add_argument("--seed", type=int, default=0)
+    arguments = parser.parse_args()
+    scale = get_scale(arguments.scale)
+
+    print(f"running the four-network study on NSL-KDD at scale '{scale.name}' "
+          f"({scale.n_records} records, {scale.epochs} epochs)")
+    study = run_four_network_study("nsl-kdd", scale=scale, seed=arguments.seed)
+
+    print()
+    print("Table II (NSL-KDD rows) — true attacks detected vs false alarms")
+    print(f"{'network':>14s} {'TP':>8s} {'FP':>8s} {'paper TP':>10s} {'paper FP':>10s}")
+    for name, result in study.results.items():
+        paper = TABLE2_TP_FP["nsl-kdd"][name]
+        print(f"{name:>14s} {result.report.tp:>8d} {result.report.fp:>8d} "
+              f"{paper['tp']:>10d} {paper['fp']:>10d}")
+
+    print()
+    print("Table III — testing performance on NSL-KDD")
+    print(f"{'network':>14s} {'DR%':>8s} {'ACC%':>8s} {'FAR%':>8s}   (paper: DR/ACC/FAR)")
+    for name, result in study.results.items():
+        row = result.as_row()
+        paper = TABLE3_NSLKDD[name]
+        print(f"{name:>14s} {row['dr_percent']:>8.2f} {row['acc_percent']:>8.2f} "
+              f"{row['far_percent']:>8.2f}   ({paper['dr']}/{paper['acc']}/{paper['far']})")
+
+    print()
+    curves = figure5("nsl-kdd", scale=scale, seed=arguments.seed)
+    print(curves["train"])
+    print()
+    print(curves["test"])
+
+
+if __name__ == "__main__":
+    main()

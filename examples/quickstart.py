@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: train a Pelican intrusion detector on synthetic NSL-KDD traffic.
+
+This is the smallest end-to-end use of the library's public API:
+
+1. draw a synthetic NSL-KDD sample (the offline stand-in for the real corpus),
+2. fit a :class:`repro.core.PelicanDetector` (a scaled-down Residual network),
+3. inspect detection rate, accuracy and false-alarm rate on held-out traffic,
+4. look at a few per-record predictions.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import PelicanDetector
+from repro.data import NSLKDD_SCHEMA, load_nslkdd
+
+
+def main() -> None:
+    # 1. Data: 1,000 records following the NSL-KDD schema (41 raw features,
+    #    5 classes).  The paper uses the full 148,516-record corpus; the
+    #    synthetic generator reproduces its schema and class structure.
+    train_records = load_nslkdd(n_records=800, seed=1)
+    test_records = load_nslkdd(n_records=200, seed=2)
+    print(f"training on {len(train_records)} records: {train_records.class_counts()}")
+
+    # 2. Detector: 3 residual blocks (13 parameter layers) instead of the
+    #    paper's 10 so the example finishes in well under a minute on a CPU.
+    #    All other hyper-parameters default to the paper's Table I settings.
+    detector = PelicanDetector(
+        NSLKDD_SCHEMA,
+        num_blocks=3,
+        epochs=6,
+        batch_size=96,
+        dropout_rate=0.3,
+        seed=0,
+    )
+    detector.fit(train_records, verbose=1)
+
+    # 3. Evaluation: the paper's three metrics (Section V-B).
+    report = detector.evaluate(test_records)
+    print()
+    print("held-out performance")
+    print(f"  detection rate  (DR):  {report.detection_rate:6.2%}")
+    print(f"  accuracy        (ACC): {report.accuracy:6.2%}")
+    print(f"  false-alarm rate (FAR): {report.false_alarm_rate:6.2%}")
+    print(f"  TP={report.tp}  FP={report.fp}  TN={report.tn}  FN={report.fn}")
+
+    # 4. Per-record predictions.
+    sample = test_records.subset(range(10))
+    predictions = detector.predict(sample)
+    print()
+    print("first ten records (true -> predicted):")
+    for true_label, predicted_label in zip(sample.labels, predictions):
+        marker = "ok " if true_label == predicted_label else "MISS"
+        print(f"  [{marker}] {true_label:>8s} -> {predicted_label}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's comparative study on UNSW-NB15 (Table V).
+
+Pelican is compared against the eight baselines of Table V — AdaBoost,
+SVM (RBF), HAST-IDS, CNN, LSTM, MLP, Random Forest and LuNet — on synthetic
+UNSW-NB15 traffic, reporting DR / ACC / FAR for every model next to the
+paper's published numbers.
+
+Run with::
+
+    python examples/unswnb15_comparative_study.py                      # all nine models
+    python examples/unswnb15_comparative_study.py --models adaboost mlp pelican
+    python examples/unswnb15_comparative_study.py --scale smoke        # quick plumbing run
+"""
+
+import argparse
+
+from repro.core import get_scale
+from repro.experiments import TABLE5_MODEL_ORDER, table5
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="bench", choices=["smoke", "bench", "full"])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--models",
+        nargs="*",
+        default=None,
+        choices=TABLE5_MODEL_ORDER,
+        help="subset of Table V models to evaluate (default: all nine)",
+    )
+    arguments = parser.parse_args()
+    scale = get_scale(arguments.scale)
+
+    print(
+        f"comparative study on UNSW-NB15 at scale '{scale.name}' "
+        f"({scale.n_records} records, {scale.epochs} epochs per deep model)"
+    )
+    result = table5(
+        scale=scale, seed=arguments.seed, include_models=arguments.models or None
+    )
+    print()
+    print(result.render())
+
+    measured = {row["model"]: row for row in result.rows}
+    if "pelican" in measured:
+        best_accuracy = max(row["acc_percent"] for row in result.rows)
+        pelican_row = measured["pelican"]
+        print()
+        print(
+            "Pelican: DR {dr:.2f} %, ACC {acc:.2f} %, FAR {far:.2f} % "
+            "({gap:+.2f} accuracy points vs the best model in this run)".format(
+                dr=pelican_row["dr_percent"],
+                acc=pelican_row["acc_percent"],
+                far=pelican_row["far_percent"],
+                gap=pelican_row["acc_percent"] - best_accuracy,
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in offline
+environments where the ``wheel`` package is unavailable
+(``pip install -e . --no-build-isolation`` falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""Reproduction of "Pelican: A Deep Residual Network for Network Intrusion Detection".
+
+The package is organised as a layered system:
+
+* :mod:`repro.nn` — a from-scratch neural-network framework (autodiff, layers,
+  optimizers, training loop) substituting for TensorFlow/Keras.
+* :mod:`repro.data` — synthetic NSL-KDD and UNSW-NB15 traffic generators that
+  reproduce the real datasets' schemas and class structure.
+* :mod:`repro.preprocessing` — one-hot encoding, standardization and k-fold
+  splitting (the paper's Section V-A pipeline).
+* :mod:`repro.core` — the paper's contribution: plain/residual blocks, the
+  Plain-21/41 and Residual-21/41 (Pelican) networks, LuNet and HAST-IDS.
+* :mod:`repro.baselines` — classical ML baselines for the comparative study.
+* :mod:`repro.metrics` — ACC / detection-rate / false-alarm-rate metrics.
+* :mod:`repro.experiments` — the harness regenerating every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "data",
+    "preprocessing",
+    "core",
+    "baselines",
+    "metrics",
+    "experiments",
+    "__version__",
+]

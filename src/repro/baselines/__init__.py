@@ -1,0 +1,25 @@
+"""``repro.baselines`` — the classical and shallow-deep baselines of Table V.
+
+Every classifier exposes the same ``fit`` / ``predict`` / ``predict_proba``
+interface (see :class:`BaseClassifier`); the deep baselines LuNet and HAST-IDS
+live in :mod:`repro.core` because they share the block machinery.
+"""
+
+from .adaboost import AdaBoostClassifier
+from .base import BaseClassifier
+from .decision_tree import DecisionTreeClassifier
+from .neural import CNNClassifier, LSTMClassifier, MLPClassifier
+from .random_forest import RandomForestClassifier
+from .svm import KernelSVM, rbf_kernel
+
+__all__ = [
+    "BaseClassifier",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "AdaBoostClassifier",
+    "KernelSVM",
+    "rbf_kernel",
+    "MLPClassifier",
+    "CNNClassifier",
+    "LSTMClassifier",
+]

@@ -1,0 +1,101 @@
+"""Common interface for the Table V baseline classifiers.
+
+Every baseline implements the scikit-learn style ``fit`` / ``predict`` /
+``predict_proba`` trio on flat feature matrices so the comparative-study
+harness can treat the classical models and the deep models uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["BaseClassifier"]
+
+
+class BaseClassifier:
+    """Abstract multi-class classifier over ``(n_samples, n_features)`` inputs."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.classes_: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # Template methods
+    # ------------------------------------------------------------------ #
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "BaseClassifier":
+        """Fit the classifier; labels are arbitrary integer class ids."""
+        features, labels = self._validate(features, labels)
+        self.classes_ = np.unique(labels)
+        encoded = np.searchsorted(self.classes_, labels)
+        self._fit(features, encoded)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predicted class ids (in the label space passed to ``fit``)."""
+        self._require_fitted()
+        features = self._validate_features(features)
+        encoded = self._predict(features)
+        return self.classes_[encoded]
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Class-probability matrix with columns ordered like ``classes_``."""
+        self._require_fitted()
+        features = self._validate_features(features)
+        return self._predict_proba(features)
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Plain multi-class accuracy."""
+        return float(np.mean(self.predict(features) == np.asarray(labels)))
+
+    # ------------------------------------------------------------------ #
+    # Hooks implemented by subclasses
+    # ------------------------------------------------------------------ #
+    def _fit(self, features: np.ndarray, encoded_labels: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _predict(self, features: np.ndarray) -> np.ndarray:
+        """Default: argmax of ``_predict_proba``."""
+        return np.argmax(self._predict_proba(features), axis=1)
+
+    def _predict_proba(self, features: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Validation helpers
+    # ------------------------------------------------------------------ #
+    def _require_fitted(self) -> None:
+        if self.classes_ is None:
+            raise RuntimeError(f"{type(self).__name__} must be fitted before prediction")
+
+    @staticmethod
+    def _validate_features(features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 3 and features.shape[1] == 1:
+            features = features.reshape(features.shape[0], -1)
+        if features.ndim != 2:
+            raise ValueError(
+                f"expected a (samples, features) matrix, got shape {features.shape}"
+            )
+        return features
+
+    def _validate(self, features: np.ndarray, labels: np.ndarray):
+        features = self._validate_features(features)
+        labels = np.asarray(labels).reshape(-1)
+        if len(features) != len(labels):
+            raise ValueError(
+                f"features and labels lengths differ: {len(features)} vs {len(labels)}"
+            )
+        if len(features) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        return features, labels.astype(np.int64)
+
+    @property
+    def num_classes(self) -> int:
+        self._require_fitted()
+        return len(self.classes_)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

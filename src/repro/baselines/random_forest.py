@@ -1,0 +1,88 @@
+"""Random Forest (Breiman-style bagging of decorrelated CART trees).
+
+One of the stronger classical baselines in Table V (ACC 84.59 % on UNSW-NB15
+in the paper) — good accuracy but a visibly higher false-alarm rate than
+Pelican.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .base import BaseClassifier
+from .decision_tree import DecisionTreeClassifier
+
+__all__ = ["RandomForestClassifier"]
+
+
+class RandomForestClassifier(BaseClassifier):
+    """Bagged ensemble of CART trees with per-split feature subsampling.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees.
+    max_depth:
+        Depth limit per tree.
+    max_features:
+        Features examined per split (default ``"sqrt"``, the standard forest
+        setting).
+    bootstrap_fraction:
+        Fraction of the training set drawn (with replacement) per tree.
+    seed:
+        Seed for bootstrapping and feature subsampling.
+    """
+
+    name = "random-forest"
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        max_depth: Optional[int] = 12,
+        min_samples_leaf: int = 1,
+        max_features="sqrt",
+        bootstrap_fraction: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if n_estimators <= 0:
+            raise ValueError("n_estimators must be positive")
+        if not 0.0 < bootstrap_fraction <= 1.0:
+            raise ValueError("bootstrap_fraction must be in (0, 1]")
+        self.n_estimators = int(n_estimators)
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap_fraction = bootstrap_fraction
+        self.seed = seed
+        self.estimators_: List[DecisionTreeClassifier] = []
+
+    def _fit(self, features: np.ndarray, labels: np.ndarray) -> None:
+        rng = np.random.default_rng(self.seed)
+        n_samples = len(features)
+        n_bootstrap = max(1, int(round(n_samples * self.bootstrap_fraction)))
+        self.estimators_ = []
+        self._n_classes = int(labels.max()) + 1
+        for index in range(self.n_estimators):
+            sample_indices = rng.integers(0, n_samples, size=n_bootstrap)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(features[sample_indices], labels[sample_indices])
+            self.estimators_.append(tree)
+
+    def _predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if not self.estimators_:
+            raise RuntimeError("forest has not been fitted")
+        votes = np.zeros((len(features), self._n_classes))
+        for tree in self.estimators_:
+            tree_probabilities = tree.predict_proba(features)
+            # Trees may have seen a subset of classes; align by the tree's own
+            # class ids (which live in the forest's encoded label space).
+            votes[:, tree.classes_] += tree_probabilities
+        return votes / len(self.estimators_)

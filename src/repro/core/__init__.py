@@ -1,0 +1,66 @@
+"""``repro.core`` — the paper's contribution.
+
+Plain and residual CNN+GRU blocks (Fig. 4), the Plain-21/41 and Residual-21/41
+(Pelican) network builders (Section V-C), the LuNet and HAST-IDS deep
+baselines, the Table I configuration registry, the training/evaluation
+orchestration and the high-level :class:`PelicanDetector` API.
+"""
+
+from .blocks import PlainBlock, ResidualBlock, parameter_layers_per_block
+from .config import (
+    PAPER_SETTINGS,
+    SCALES,
+    ExperimentScale,
+    NetworkConfig,
+    get_paper_config,
+    get_scale,
+    scaled_config,
+)
+from .detector import PelicanDetector
+from .hast_ids import build_hast_ids
+from .lunet import DEFAULT_LUNET_BLOCKS, build_lunet, lunet_depth_sweep
+from .pelican import (
+    PAPER_BLOCK_COUNTS,
+    blocks_for_depth,
+    build_network,
+    build_pelican,
+    build_plain21,
+    build_plain41,
+    build_plain_network,
+    build_residual21,
+    build_residual_network,
+    compile_for_paper,
+    parameter_layer_count,
+)
+from .trainer import EvaluationResult, Trainer
+
+__all__ = [
+    "PlainBlock",
+    "ResidualBlock",
+    "parameter_layers_per_block",
+    "NetworkConfig",
+    "ExperimentScale",
+    "PAPER_SETTINGS",
+    "SCALES",
+    "get_paper_config",
+    "get_scale",
+    "scaled_config",
+    "PelicanDetector",
+    "build_hast_ids",
+    "build_lunet",
+    "lunet_depth_sweep",
+    "DEFAULT_LUNET_BLOCKS",
+    "PAPER_BLOCK_COUNTS",
+    "build_network",
+    "build_plain_network",
+    "build_residual_network",
+    "build_plain21",
+    "build_plain41",
+    "build_residual21",
+    "build_pelican",
+    "blocks_for_depth",
+    "parameter_layer_count",
+    "compile_for_paper",
+    "EvaluationResult",
+    "Trainer",
+]

@@ -1,0 +1,199 @@
+"""The paper's building blocks (Fig. 4).
+
+* :class:`PlainBlock` — Fig. 4(a): BN → Conv1D(ReLU) → MaxPooling → BN →
+  GRU(tanh, hard-sigmoid) → Reshape → Dropout.  This is the LuNet-style block
+  the paper's plain networks are stacked from, and contributes four parameter
+  layers (two BN, one Conv, one GRU).
+* :class:`ResidualBlock` — Fig. 4(b): the same stack wrapped with an identity
+  shortcut taken from the *output of the first BN layer* and merged with an
+  element-wise Add at the end of the block.
+
+For the paper's configuration (1 time-step inputs, ``filters ==
+recurrent_units == input features``) the shortcut is a pure identity.  For
+other shapes the block inserts a projection (1x1 convolution and/or temporal
+average) so the Add still type-checks — the standard ResNet "option B"
+shortcut — and documents that this adds one parameter layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..nn.layers import (
+    GRU,
+    Add,
+    BatchNormalization,
+    Conv1D,
+    Dropout,
+    Layer,
+    MaxPooling1D,
+    Reshape,
+)
+from ..nn.tensor import Tensor, global_average_pool1d, reshape
+
+__all__ = ["PlainBlock", "ResidualBlock", "parameter_layers_per_block"]
+
+#: Parameter layers contributed by one block: BN, Conv1D, BN, GRU.
+PARAMETER_LAYERS_PER_BLOCK = 4
+
+
+def parameter_layers_per_block() -> int:
+    """Number of parameter (weight-bearing) layers in one block."""
+    return PARAMETER_LAYERS_PER_BLOCK
+
+
+class PlainBlock(Layer):
+    """Fig. 4(a): the plain CNN+GRU block.
+
+    Parameters
+    ----------
+    filters:
+        Number of convolution filters.
+    kernel_size:
+        Convolution window length (10 in Table I).
+    recurrent_units:
+        GRU hidden size.
+    dropout_rate:
+        Dropout applied at the end of the block (0.6 in Table I).
+    pool_size:
+        Max-pooling window (the paper keeps the default of 2; with the
+        1-time-step inputs this is effectively a no-op, as in the original).
+    """
+
+    def __init__(
+        self,
+        filters: int,
+        kernel_size: int,
+        recurrent_units: int,
+        dropout_rate: float = 0.6,
+        pool_size: int = 2,
+        name: Optional[str] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(name=name, seed=seed)
+        self.filters = int(filters)
+        self.kernel_size = int(kernel_size)
+        self.recurrent_units = int(recurrent_units)
+        self.dropout_rate = float(dropout_rate)
+        self.pool_size = int(pool_size)
+
+        self.input_norm = self.register(BatchNormalization(name=f"{self.name}/bn_in"))
+        self.convolution = self.register(
+            Conv1D(
+                filters=self.filters,
+                kernel_size=self.kernel_size,
+                padding="same",
+                activation="relu",
+                name=f"{self.name}/conv",
+            )
+        )
+        self.pooling = self.register(
+            MaxPooling1D(pool_size=self.pool_size, padding="same", name=f"{self.name}/pool")
+        )
+        self.recurrent_norm = self.register(
+            BatchNormalization(name=f"{self.name}/bn_rec")
+        )
+        self.recurrent = self.register(
+            GRU(
+                units=self.recurrent_units,
+                activation="tanh",
+                recurrent_activation="hard_sigmoid",
+                return_sequences=False,
+                name=f"{self.name}/gru",
+            )
+        )
+        self.reshape = self.register(
+            Reshape((1, self.recurrent_units), name=f"{self.name}/reshape")
+        )
+        self.dropout = self.register(
+            Dropout(self.dropout_rate, name=f"{self.name}/dropout")
+        )
+
+    # ------------------------------------------------------------------ #
+    def transform(self, inputs: Tensor, training: bool) -> Tuple[Tensor, Tensor]:
+        """Run the block and also return the first BN output (the shortcut source)."""
+        normalized = self.input_norm(inputs, training=training)
+        features = self.convolution(normalized, training=training)
+        features = self.pooling(features, training=training)
+        features = self.recurrent_norm(features, training=training)
+        features = self.recurrent(features, training=training)
+        features = self.reshape(features, training=training)
+        features = self.dropout(features, training=training)
+        return features, normalized
+
+    def call(self, inputs: Tensor, training: bool = False) -> Tensor:
+        outputs, _ = self.transform(inputs, training)
+        return outputs
+
+    def parameter_layer_count(self) -> int:
+        """Parameter layers contributed by this block."""
+        return PARAMETER_LAYERS_PER_BLOCK
+
+
+class ResidualBlock(PlainBlock):
+    """Fig. 4(b): the plain block wrapped with a shortcut from the first BN output.
+
+    Parameters
+    ----------
+    shortcut_from:
+        ``"bn"`` (paper's design, Fig. 4(b)) takes the shortcut from the first
+        BN output; ``"input"`` takes it from the raw block input.  The
+        alternative is exercised by the shortcut-placement ablation bench.
+    """
+
+    def __init__(
+        self,
+        filters: int,
+        kernel_size: int,
+        recurrent_units: int,
+        dropout_rate: float = 0.6,
+        pool_size: int = 2,
+        shortcut_from: str = "bn",
+        name: Optional[str] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            filters=filters,
+            kernel_size=kernel_size,
+            recurrent_units=recurrent_units,
+            dropout_rate=dropout_rate,
+            pool_size=pool_size,
+            name=name,
+            seed=seed,
+        )
+        if shortcut_from not in ("bn", "input"):
+            raise ValueError("shortcut_from must be 'bn' or 'input'")
+        self.shortcut_from = shortcut_from
+        self.merge = self.register(Add(name=f"{self.name}/add"))
+        self._projection: Optional[Conv1D] = None
+
+    def _project_shortcut(self, shortcut: Tensor, training: bool) -> Tensor:
+        """Match the shortcut's shape to the block output ``(batch, 1, units)``."""
+        batch, steps, channels = shortcut.shape
+        if steps != 1:
+            shortcut = reshape(
+                global_average_pool1d(shortcut), (batch, 1, channels)
+            )
+        if channels != self.recurrent_units:
+            if self._projection is None:
+                self._projection = self.register(
+                    Conv1D(
+                        filters=self.recurrent_units,
+                        kernel_size=1,
+                        padding="same",
+                        name=f"{self.name}/shortcut_proj",
+                    )
+                )
+            shortcut = self._projection(shortcut, training=training)
+        return shortcut
+
+    def call(self, inputs: Tensor, training: bool = False) -> Tensor:
+        outputs, normalized = self.transform(inputs, training)
+        shortcut_source = normalized if self.shortcut_from == "bn" else inputs
+        shortcut = self._project_shortcut(shortcut_source, training)
+        return self.merge([outputs, shortcut], training=training)
+
+    def parameter_layer_count(self) -> int:
+        """Parameter layers contributed by this block (plus any projection)."""
+        base = PARAMETER_LAYERS_PER_BLOCK
+        return base + (1 if self._projection is not None else 0)

@@ -1,0 +1,56 @@
+"""LuNet (Wu & Guo, 2019) — the baseline the paper's blocks are derived from.
+
+LuNet is the authors' earlier CNN+GRU intrusion-detection network; the paper
+uses it in two places:
+
+* the motivational experiment (Fig. 2) trains LuNet at increasing depth and
+  shows the degradation problem — accuracy drops as parameter layers grow;
+* the comparative study (Table V) includes LuNet as the strongest classical
+  deep baseline.
+
+Architecturally LuNet stacks the plain CNN+GRU blocks of Fig. 4(a) (that is
+exactly where the paper says the plain block comes from) with a global average
+pooling layer and a dense softmax classifier on top, so it is the plain
+network family parameterised by depth.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..nn.models import Sequential
+from .config import NetworkConfig
+from .pelican import build_plain_network, parameter_layer_count
+
+__all__ = ["build_lunet", "lunet_depth_sweep", "DEFAULT_LUNET_BLOCKS"]
+
+#: LuNet as used in the Table V comparison: a 5-block (21 parameter layer) stack.
+DEFAULT_LUNET_BLOCKS = 5
+
+
+def build_lunet(
+    num_classes: int,
+    config: NetworkConfig,
+    num_blocks: int = DEFAULT_LUNET_BLOCKS,
+    name: Optional[str] = None,
+    **kwargs,
+) -> Sequential:
+    """Build LuNet with ``num_blocks`` plain CNN+GRU blocks."""
+    return build_plain_network(
+        num_blocks,
+        num_classes,
+        config,
+        name=name or f"lunet-{parameter_layer_count(num_blocks)}",
+        **kwargs,
+    )
+
+
+def lunet_depth_sweep(max_blocks: int = 10, step: int = 1) -> Sequence[int]:
+    """Block counts for the Fig. 2 depth sweep.
+
+    The paper sweeps 5 to 40 parameter layers; with four parameter layers per
+    block plus the classifier this corresponds to 1 to 10 blocks.
+    """
+    if max_blocks <= 0 or step <= 0:
+        raise ValueError("max_blocks and step must be positive")
+    return list(range(1, max_blocks + 1, step))

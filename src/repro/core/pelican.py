@@ -1,0 +1,168 @@
+"""Network builders for the four architectures evaluated in the paper.
+
+Section V-C defines them as:
+
+* **Plain-21** — five plain blocks + global average pooling + dense (21
+  parameter layers).
+* **Residual-21** — five residual blocks + global average pooling + dense.
+* **Plain-41** — ten plain blocks + global average pooling + dense (41
+  parameter layers).
+* **Residual-41 (Pelican)** — ten residual blocks + global average pooling +
+  dense.
+
+Each block contributes four parameter layers (BN, Conv1D, BN, GRU) and the
+dense classifier adds one, so ``layers = 4 * blocks + 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..nn.layers import Dense, GlobalAveragePooling1D
+from ..nn.models import Sequential
+from ..nn.optimizers import RMSprop
+from .blocks import PARAMETER_LAYERS_PER_BLOCK, PlainBlock, ResidualBlock
+from .config import NetworkConfig
+
+__all__ = [
+    "parameter_layer_count",
+    "blocks_for_depth",
+    "build_network",
+    "build_plain_network",
+    "build_residual_network",
+    "build_plain21",
+    "build_plain41",
+    "build_residual21",
+    "build_pelican",
+    "compile_for_paper",
+    "PAPER_BLOCK_COUNTS",
+]
+
+#: Block counts of the four networks in Section V-C.
+PAPER_BLOCK_COUNTS = {
+    "plain-21": 5,
+    "residual-21": 5,
+    "plain-41": 10,
+    "residual-41": 10,
+}
+
+
+def parameter_layer_count(num_blocks: int) -> int:
+    """Number of parameter layers in a network of ``num_blocks`` blocks.
+
+    ``4 * blocks + 1``: four weight-bearing layers per block plus the final
+    dense classifier (global average pooling has no parameters).
+    """
+    if num_blocks <= 0:
+        raise ValueError("num_blocks must be positive")
+    return PARAMETER_LAYERS_PER_BLOCK * num_blocks + 1
+
+
+def blocks_for_depth(num_parameter_layers: int) -> int:
+    """Inverse of :func:`parameter_layer_count` (rounded down, at least one block)."""
+    if num_parameter_layers <= 1:
+        raise ValueError("a network needs more than one parameter layer")
+    return max(1, (num_parameter_layers - 1) // PARAMETER_LAYERS_PER_BLOCK)
+
+
+def build_network(
+    num_blocks: int,
+    num_classes: int,
+    config: NetworkConfig,
+    residual: bool = True,
+    shortcut_from: str = "bn",
+    name: Optional[str] = None,
+    seed: Optional[int] = None,
+) -> Sequential:
+    """Assemble a plain or residual network following Section V-C.
+
+    Parameters
+    ----------
+    num_blocks:
+        Number of (plain or residual) blocks to stack.
+    num_classes:
+        Size of the softmax output (5 for NSL-KDD, 10 for UNSW-NB15).
+    config:
+        Table I hyper-parameters (filters, kernel size, recurrent units,
+        dropout rate).
+    residual:
+        True builds residual blocks (Pelican family), False plain blocks.
+    shortcut_from:
+        Passed through to :class:`ResidualBlock` for the shortcut ablation.
+    """
+    if num_blocks <= 0:
+        raise ValueError("num_blocks must be positive")
+    if num_classes < 2:
+        raise ValueError("num_classes must be at least 2")
+
+    if name is None:
+        kind = "residual" if residual else "plain"
+        name = f"{kind}-{parameter_layer_count(num_blocks)}"
+
+    network = Sequential(name=name, seed=seed)
+    for index in range(num_blocks):
+        if residual:
+            block = ResidualBlock(
+                filters=config.filters,
+                kernel_size=config.kernel_size,
+                recurrent_units=config.recurrent_units,
+                dropout_rate=config.dropout_rate,
+                shortcut_from=shortcut_from,
+                name=f"{name}/resblk_{index}",
+            )
+        else:
+            block = PlainBlock(
+                filters=config.filters,
+                kernel_size=config.kernel_size,
+                recurrent_units=config.recurrent_units,
+                dropout_rate=config.dropout_rate,
+                name=f"{name}/plainblk_{index}",
+            )
+        network.add(block)
+    network.add(GlobalAveragePooling1D(name=f"{name}/gap"))
+    network.add(Dense(num_classes, activation="softmax", name=f"{name}/classifier"))
+    return network
+
+
+def build_plain_network(
+    num_blocks: int, num_classes: int, config: NetworkConfig, **kwargs
+) -> Sequential:
+    """Plain (non-residual) network of ``num_blocks`` blocks."""
+    return build_network(num_blocks, num_classes, config, residual=False, **kwargs)
+
+
+def build_residual_network(
+    num_blocks: int, num_classes: int, config: NetworkConfig, **kwargs
+) -> Sequential:
+    """Residual network of ``num_blocks`` blocks."""
+    return build_network(num_blocks, num_classes, config, residual=True, **kwargs)
+
+
+def build_plain21(num_classes: int, config: NetworkConfig, **kwargs) -> Sequential:
+    """The paper's Plain-21: five plain blocks + GAP + dense."""
+    return build_plain_network(5, num_classes, config, name="plain-21", **kwargs)
+
+
+def build_plain41(num_classes: int, config: NetworkConfig, **kwargs) -> Sequential:
+    """The paper's Plain-41: ten plain blocks + GAP + dense."""
+    return build_plain_network(10, num_classes, config, name="plain-41", **kwargs)
+
+
+def build_residual21(num_classes: int, config: NetworkConfig, **kwargs) -> Sequential:
+    """The paper's Residual-21: five residual blocks + GAP + dense."""
+    return build_residual_network(5, num_classes, config, name="residual-21", **kwargs)
+
+
+def build_pelican(num_classes: int, config: NetworkConfig, **kwargs) -> Sequential:
+    """Pelican (Residual-41): ten residual blocks + GAP + dense."""
+    return build_residual_network(10, num_classes, config, name="pelican", **kwargs)
+
+
+def compile_for_paper(network: Sequential, config: NetworkConfig) -> Sequential:
+    """Compile a network with the paper's training setup (RMSprop + CCE)."""
+    network.compile(
+        optimizer=RMSprop(learning_rate=config.learning_rate),
+        loss="categorical_crossentropy",
+        metrics=["accuracy"],
+    )
+    return network

@@ -1,0 +1,38 @@
+"""``repro.data`` — dataset schemas and synthetic traffic generators.
+
+The subpackage stands in for the NSL-KDD and UNSW-NB15 corpora used by the
+paper (see DESIGN.md for the substitution rationale).  The public entry points
+are :func:`load_nslkdd` and :func:`load_unswnb15`, which return
+:class:`TrafficRecords` batches ready for :mod:`repro.preprocessing`.
+"""
+
+from .dataset import TrafficRecords
+from .generator import DifficultyProfile, TrafficGenerator
+from .nslkdd import NSLKDD_PROFILE, load_nslkdd, nslkdd_generator
+from .schema import (
+    NSLKDD_SCHEMA,
+    UNSWNB15_SCHEMA,
+    CategoricalFeature,
+    DatasetSchema,
+    NumericFeature,
+    get_schema,
+)
+from .unswnb15 import UNSWNB15_PROFILE, load_unswnb15, unswnb15_generator
+
+__all__ = [
+    "TrafficRecords",
+    "TrafficGenerator",
+    "DifficultyProfile",
+    "DatasetSchema",
+    "NumericFeature",
+    "CategoricalFeature",
+    "get_schema",
+    "NSLKDD_SCHEMA",
+    "UNSWNB15_SCHEMA",
+    "NSLKDD_PROFILE",
+    "UNSWNB15_PROFILE",
+    "load_nslkdd",
+    "load_unswnb15",
+    "nslkdd_generator",
+    "unswnb15_generator",
+]

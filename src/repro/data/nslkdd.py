@@ -1,0 +1,65 @@
+"""Synthetic NSL-KDD dataset.
+
+NSL-KDD (Tavallaee et al., 2009) is the de-duplicated revision of KDD'99 used
+by the paper.  The paper uses 148,516 records across 5 classes (Normal, DoS,
+Probe, R2L, U2R) with 41 raw features that expand to 121 columns after one-hot
+encoding.
+
+The paper achieves ~99 % accuracy on NSL-KDD, so its synthetic stand-in is
+configured as the *easier* of the two datasets: well-separated class
+prototypes and a small ambiguous fraction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .dataset import TrafficRecords
+from .generator import DifficultyProfile, TrafficGenerator
+from .schema import NSLKDD_SCHEMA
+
+__all__ = ["NSLKDD_PROFILE", "nslkdd_generator", "load_nslkdd"]
+
+#: Difficulty calibrated so that a well-trained classifier reaches the high-90s
+#: accuracy regime the paper reports for NSL-KDD (Table III).
+NSLKDD_PROFILE = DifficultyProfile(
+    separation=3.2,
+    family_spread=2.6,
+    latent_rank=6,
+    noise_scale=1.0,
+    ambiguity=0.008,
+    categorical_concentration=0.25,
+    categorical_noise=0.03,
+)
+
+#: Seed of the canonical synthetic population (fixed so every experiment in the
+#: repository draws from the same underlying distribution).
+_POPULATION_SEED = 20200523
+
+
+def nslkdd_generator(
+    profile: Optional[DifficultyProfile] = None, seed: int = _POPULATION_SEED
+) -> TrafficGenerator:
+    """Return the generator behind the synthetic NSL-KDD population."""
+    return TrafficGenerator(NSLKDD_SCHEMA, profile or NSLKDD_PROFILE, seed=seed)
+
+
+def load_nslkdd(
+    n_records: int = 10_000,
+    seed: int = 0,
+    profile: Optional[DifficultyProfile] = None,
+) -> TrafficRecords:
+    """Generate a synthetic NSL-KDD sample.
+
+    Parameters
+    ----------
+    n_records:
+        Number of records to draw.  The paper uses the full 148,516-record
+        corpus; the experiment harness defaults to a few thousand records so
+        the pure-numpy networks train in reasonable time.
+    seed:
+        Seed for the record draw (the population itself is fixed).
+    profile:
+        Override the difficulty profile (used by tests and ablations).
+    """
+    return nslkdd_generator(profile).sample(n_records, seed=seed)

@@ -1,0 +1,57 @@
+"""Synthetic UNSW-NB15 dataset.
+
+UNSW-NB15 (Moustafa & Slay, 2015) is the modern IDS corpus used by the paper:
+257,673 records across 10 classes (Normal plus 9 attack families) whose 42 raw
+features expand to 196 columns after one-hot encoding.
+
+In the paper UNSW-NB15 is clearly the harder dataset (≈86 % accuracy versus
+≈99 % on NSL-KDD, with several attack families overlapping Normal traffic), so
+its synthetic stand-in uses closer class prototypes, a much larger ambiguous
+fraction and noisier categorical columns.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .dataset import TrafficRecords
+from .generator import DifficultyProfile, TrafficGenerator
+from .schema import UNSWNB15_SCHEMA
+
+__all__ = ["UNSWNB15_PROFILE", "unswnb15_generator", "load_unswnb15"]
+
+#: Difficulty calibrated so that classifiers land in the bands the paper
+#: reports for UNSW-NB15 (Table IV / Table V): detection rate in the 90s, a
+#: false-alarm rate of a few percent, but multi-class accuracy only in the
+#: 80s because the attack families overlap each other (small family_spread).
+UNSWNB15_PROFILE = DifficultyProfile(
+    separation=2.4,
+    family_spread=0.75,
+    latent_rank=8,
+    noise_scale=1.3,
+    ambiguity=0.035,
+    categorical_concentration=0.6,
+    categorical_noise=0.10,
+)
+
+#: Seed of the canonical synthetic population.
+_POPULATION_SEED = 20151101
+
+
+def unswnb15_generator(
+    profile: Optional[DifficultyProfile] = None, seed: int = _POPULATION_SEED
+) -> TrafficGenerator:
+    """Return the generator behind the synthetic UNSW-NB15 population."""
+    return TrafficGenerator(UNSWNB15_SCHEMA, profile or UNSWNB15_PROFILE, seed=seed)
+
+
+def load_unswnb15(
+    n_records: int = 10_000,
+    seed: int = 0,
+    profile: Optional[DifficultyProfile] = None,
+) -> TrafficRecords:
+    """Generate a synthetic UNSW-NB15 sample.
+
+    Parameters mirror :func:`repro.data.nslkdd.load_nslkdd`.
+    """
+    return unswnb15_generator(profile).sample(n_records, seed=seed)

@@ -1,0 +1,39 @@
+"""``repro.experiments`` — the harness regenerating every table and figure.
+
+See DESIGN.md for the experiment index.  The public entry points are the
+``tableN`` / ``figureN`` functions, the ablations, and
+:func:`run_experiment`, which dispatches by experiment id (also available on
+the command line as ``python -m repro.experiments.runner``).
+"""
+
+from . import paper_values
+from .ablations import ablate_dropout, ablate_optimizer, ablate_shortcut_placement
+from .figures import Figure2Result, figure2, figure5
+from .four_networks import FourNetworkStudy, clear_study_cache, run_four_network_study
+from .results import CurveSet, ResultTable, ascii_plot
+from .runner import EXPERIMENTS, run_experiment
+from .tables import TABLE5_MODEL_ORDER, table1, table2, table3, table4, table5
+
+__all__ = [
+    "paper_values",
+    "ResultTable",
+    "CurveSet",
+    "ascii_plot",
+    "FourNetworkStudy",
+    "run_four_network_study",
+    "clear_study_cache",
+    "Figure2Result",
+    "figure2",
+    "figure5",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "TABLE5_MODEL_ORDER",
+    "ablate_shortcut_placement",
+    "ablate_optimizer",
+    "ablate_dropout",
+    "run_experiment",
+    "EXPERIMENTS",
+]

@@ -1,0 +1,137 @@
+"""Every number the paper reports, transcribed for paper-vs-measured comparison.
+
+The experiment harness prints these next to the values it measures on the
+synthetic datasets; EXPERIMENTS.md records both.  Only the *shape* of the
+results (orderings, approximate gaps, crossovers) is expected to transfer —
+the absolute values were obtained on the real corpora at full scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = [
+    "TABLE1_SETTINGS",
+    "TABLE2_TP_FP",
+    "TABLE3_NSLKDD",
+    "TABLE4_UNSWNB15",
+    "TABLE5_COMPARISON",
+    "FIG2_DEGRADATION",
+    "FIG5_FINAL_LOSSES",
+    "FOUR_NETWORKS",
+    "paper_table_rows",
+]
+
+#: The four architectures of Section V-C, in the order the paper lists them.
+FOUR_NETWORKS = ["plain-21", "residual-21", "plain-41", "residual-41"]
+
+#: Table I — parameter settings per dataset.
+TABLE1_SETTINGS: Dict[str, Dict[str, float]] = {
+    "unsw-nb15": {
+        "filters": 196,
+        "kernel_size": 10,
+        "recurrent_units": 196,
+        "dropout_rate": 0.6,
+        "epochs": 100,
+        "learning_rate": 0.01,
+        "batch_size": 4000,
+    },
+    "nsl-kdd": {
+        "filters": 121,
+        "kernel_size": 10,
+        "recurrent_units": 121,
+        "dropout_rate": 0.6,
+        "epochs": 50,
+        "learning_rate": 0.01,
+        "batch_size": 4000,
+    },
+}
+
+#: Table II — total true attacks detected (TP) and total false alarms (FP).
+TABLE2_TP_FP: Dict[str, Dict[str, Dict[str, int]]] = {
+    "nsl-kdd": {
+        "plain-21": {"tp": 14688, "fp": 62},
+        "residual-21": {"tp": 14702, "fp": 58},
+        "plain-41": {"tp": 14607, "fp": 52},
+        "residual-41": {"tp": 14732, "fp": 50},
+    },
+    "unsw-nb15": {
+        "plain-21": {"tp": 22094, "fp": 220},
+        "residual-21": {"tp": 22265, "fp": 136},
+        "plain-41": {"tp": 21211, "fp": 399},
+        "residual-41": {"tp": 22321, "fp": 121},
+    },
+}
+
+#: Table III — testing performance on NSL-KDD (percentages).
+TABLE3_NSLKDD: Dict[str, Dict[str, float]] = {
+    "plain-21": {"dr": 98.70, "acc": 98.92, "far": 0.80},
+    "plain-41": {"dr": 97.56, "acc": 98.37, "far": 0.67},
+    "residual-21": {"dr": 98.81, "acc": 99.01, "far": 0.73},
+    "residual-41": {"dr": 99.13, "acc": 99.21, "far": 0.65},
+}
+
+#: Table IV — testing performance on UNSW-NB15 (percentages).
+TABLE4_UNSWNB15: Dict[str, Dict[str, float]] = {
+    "plain-21": {"dr": 97.42, "acc": 85.76, "far": 2.37},
+    "plain-41": {"dr": 93.73, "acc": 82.33, "far": 4.29},
+    "residual-21": {"dr": 97.86, "acc": 86.42, "far": 1.46},
+    "residual-41": {"dr": 97.75, "acc": 86.64, "far": 1.30},
+}
+
+#: Table V — comparison with classical techniques on UNSW-NB15 (percentages),
+#: ordered by the paper's accuracy column.
+TABLE5_COMPARISON: Dict[str, Dict[str, float]] = {
+    "adaboost": {"dr": 91.13, "acc": 73.19, "far": 22.11},
+    "svm-rbf": {"dr": 83.71, "acc": 74.80, "far": 7.73},
+    "hast-ids": {"dr": 93.65, "acc": 80.03, "far": 9.60},
+    "cnn": {"dr": 92.28, "acc": 82.13, "far": 3.84},
+    "lstm": {"dr": 92.76, "acc": 82.40, "far": 3.63},
+    "mlp": {"dr": 96.74, "acc": 84.00, "far": 3.66},
+    "random-forest": {"dr": 92.24, "acc": 84.59, "far": 3.01},
+    "lunet": {"dr": 97.43, "acc": 85.35, "far": 2.89},
+    "pelican": {"dr": 97.75, "acc": 86.64, "far": 1.30},
+}
+
+#: Fig. 2 — LuNet accuracy versus depth on UNSW-NB15.  The paper plots the
+#: qualitative degradation: accuracy rises to a peak around 10-15 parameter
+#: layers and then falls as more layers are added ("the beginning of
+#: degradation").  Approximate curve endpoints read off the figure.
+FIG2_DEGRADATION: Dict[str, Dict[str, float]] = {
+    "training_accuracy": {"shallow": 0.80, "deep": 0.58},
+    "testing_accuracy": {"shallow": 0.82, "deep": 0.48},
+}
+
+#: Fig. 5 — final-epoch training/testing losses of the four networks.
+FIG5_FINAL_LOSSES: Dict[str, Dict[str, Dict[str, float]]] = {
+    "unsw-nb15": {
+        "train": {
+            "plain-21": 0.4983, "plain-41": 0.5666,
+            "residual-21": 0.3990, "residual-41": 0.3267,
+        },
+        "test": {
+            "plain-21": 0.4842, "plain-41": 0.5607,
+            "residual-21": 0.4029, "residual-41": 0.3400,
+        },
+    },
+    "nsl-kdd": {
+        "train": {
+            "plain-21": 0.0606, "plain-41": 0.1676,
+            "residual-21": 0.0406, "residual-41": 0.0205,
+        },
+        "test": {
+            "plain-21": 0.0718, "plain-41": 0.1404,
+            "residual-21": 0.0310, "residual-41": 0.0237,
+        },
+    },
+}
+
+
+def paper_table_rows(table: Dict[str, Dict[str, float]]) -> List[Dict[str, float]]:
+    """Flatten a paper table dict into a list of row dicts (model + metrics)."""
+    rows = []
+    for model, metrics in table.items():
+        row = {"model": model}
+        row.update(metrics)
+        rows.append(row)
+    return rows

@@ -1,0 +1,95 @@
+"""Experiment registry and command-line runner.
+
+Every table and figure of the paper (plus the extra ablations) is registered
+under a stable identifier so it can be regenerated with::
+
+    python -m repro.experiments.runner table4 --scale bench
+    python -m repro.experiments.runner fig5-unsw --scale smoke
+
+The same registry backs the benchmark harness in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from ..core.config import ExperimentScale, get_scale
+from . import ablations, figures, tables
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+
+def _fig2(scale: ExperimentScale, seed: int):
+    return figures.figure2(dataset="unsw-nb15", scale=scale, seed=seed).curves()
+
+
+def _fig5(dataset: str):
+    def run(scale: ExperimentScale, seed: int):
+        curves = figures.figure5(dataset=dataset, scale=scale, seed=seed)
+        return "\n\n".join(str(curve) for curve in curves.values())
+
+    return run
+
+
+#: Experiment id -> callable(scale, seed) returning a renderable result.
+EXPERIMENTS: Dict[str, Callable[[ExperimentScale, int], object]] = {
+    "table1": lambda scale, seed: tables.table1(),
+    "table2": lambda scale, seed: tables.table2(scale=scale, seed=seed),
+    "table3": lambda scale, seed: tables.table3(scale=scale, seed=seed),
+    "table4": lambda scale, seed: tables.table4(scale=scale, seed=seed),
+    "table5": lambda scale, seed: tables.table5(scale=scale, seed=seed),
+    "fig2": _fig2,
+    "fig5-unsw": _fig5("unsw-nb15"),
+    "fig5-nslkdd": _fig5("nsl-kdd"),
+    "ablation-shortcut": lambda scale, seed: ablations.ablate_shortcut_placement(
+        scale=scale, seed=seed
+    ),
+    "ablation-optimizer": lambda scale, seed: ablations.ablate_optimizer(
+        scale=scale, seed=seed
+    ),
+    "ablation-dropout": lambda scale, seed: ablations.ablate_dropout(
+        scale=scale, seed=seed
+    ),
+}
+
+
+def run_experiment(
+    experiment_id: str, scale: Optional[ExperimentScale] = None, seed: int = 0
+) -> object:
+    """Run one registered experiment and return its result object."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError as exc:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; known experiments: {known}"
+        ) from exc
+    return runner(scale or get_scale("bench"), seed)
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate one of the paper's tables or figures."
+    )
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment id")
+    parser.add_argument(
+        "--scale",
+        default="bench",
+        choices=["smoke", "bench", "full", "paper"],
+        help="workload preset (see repro.core.config.SCALES)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    arguments = parser.parse_args(argv)
+
+    result = run_experiment(
+        arguments.experiment, scale=get_scale(arguments.scale), seed=arguments.seed
+    )
+    print(result)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

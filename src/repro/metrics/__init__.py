@@ -1,0 +1,28 @@
+"""``repro.metrics`` — the paper's evaluation metrics (ACC, DR, FAR) and helpers."""
+
+from .confusion import binary_confusion_counts, confusion_matrix
+from .ids_metrics import (
+    DetectionReport,
+    accuracy,
+    binarize_predictions,
+    detection_rate,
+    evaluate_detection,
+    f1_score,
+    false_alarm_rate,
+    per_class_report,
+    precision,
+)
+
+__all__ = [
+    "confusion_matrix",
+    "binary_confusion_counts",
+    "DetectionReport",
+    "accuracy",
+    "detection_rate",
+    "false_alarm_rate",
+    "precision",
+    "f1_score",
+    "binarize_predictions",
+    "evaluate_detection",
+    "per_class_report",
+]

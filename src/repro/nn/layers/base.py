@@ -1,0 +1,149 @@
+"""Layer base class.
+
+A layer owns trainable parameters (created lazily the first time it sees an
+input, so that input shapes do not have to be specified up front) and
+transforms a :class:`~repro.nn.tensor.Tensor` in :meth:`call`.  Composite
+layers — such as the paper's plain and residual blocks — register sub-layers
+with :meth:`register` so that ``parameters()`` recurses into them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..initializers import Initializer, get_initializer
+from ..random import spawn_rng
+from ..tensor import Tensor, as_tensor
+
+__all__ = ["Layer"]
+
+
+class Layer:
+    """Base class for all neural-network layers.
+
+    Parameters
+    ----------
+    name:
+        Optional label used in ``summary()`` output; defaults to the class
+        name in lower-case with a per-class counter.
+    seed:
+        Optional seed for the layer's private random generator (weight
+        initialization, dropout masks).
+    """
+
+    _instance_counters: Dict[str, int] = {}
+
+    def __init__(self, name: Optional[str] = None, seed: Optional[int] = None) -> None:
+        if name is None:
+            base = type(self).__name__.lower()
+            count = Layer._instance_counters.get(base, 0)
+            Layer._instance_counters[base] = count + 1
+            name = f"{base}_{count}" if count else base
+        self.name = name
+        self.built = False
+        self.trainable = True
+        self.rng = spawn_rng(seed)
+        self._parameters: Dict[str, Tensor] = {}
+        self._buffers: Dict[str, np.ndarray] = {}
+        self._sublayers: List["Layer"] = []
+
+    # ------------------------------------------------------------------ #
+    # Parameter management
+    # ------------------------------------------------------------------ #
+    def add_parameter(
+        self,
+        name: str,
+        shape: Tuple[int, ...],
+        initializer: Union[str, Initializer] = "glorot_uniform",
+    ) -> Tensor:
+        """Create, register and return a trainable parameter tensor."""
+        initializer = get_initializer(initializer)
+        parameter = Tensor(
+            initializer(shape, self.rng),
+            requires_grad=True,
+            name=f"{self.name}/{name}",
+        )
+        self._parameters[name] = parameter
+        return parameter
+
+    def add_buffer(self, name: str, value: np.ndarray) -> np.ndarray:
+        """Register a non-trainable state array (e.g. batch-norm running stats)."""
+        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        return self._buffers[name]
+
+    def register(self, layer: "Layer") -> "Layer":
+        """Register a sub-layer so its parameters are tracked recursively."""
+        self._sublayers.append(layer)
+        return layer
+
+    def parameters(self) -> List[Tensor]:
+        """Return all trainable parameters of this layer and its sub-layers."""
+        parameters = list(self._parameters.values()) if self.trainable else []
+        for sublayer in self._sublayers:
+            parameters.extend(sublayer.parameters())
+        return parameters
+
+    def count_params(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return int(sum(p.size for p in self.parameters()))
+
+    @property
+    def sublayers(self) -> List["Layer"]:
+        return list(self._sublayers)
+
+    # ------------------------------------------------------------------ #
+    # Forward pass
+    # ------------------------------------------------------------------ #
+    def build(self, input_shape: Tuple[int, ...]) -> None:
+        """Create parameters once the input shape is known (no-op by default)."""
+
+    def call(self, inputs: Tensor, training: bool = False) -> Tensor:
+        raise NotImplementedError
+
+    def __call__(self, inputs, training: bool = False) -> Tensor:
+        if isinstance(inputs, (list, tuple)):
+            tensors = [as_tensor(x) for x in inputs]
+            if not self.built:
+                self.build(tuple(t.shape for t in tensors))
+                self.built = True
+            return self.call(tensors, training=training)
+        inputs = as_tensor(inputs)
+        if not self.built:
+            self.build(inputs.shape)
+            self.built = True
+        return self.call(inputs, training=training)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+    # ------------------------------------------------------------------ #
+    # Serialization helpers (used by Model.get_weights / set_weights)
+    # ------------------------------------------------------------------ #
+    def get_weights(self) -> List[np.ndarray]:
+        """Return copies of this layer's (and sub-layers') parameter arrays."""
+        weights = [p.data.copy() for p in self._parameters.values()]
+        for sublayer in self._sublayers:
+            weights.extend(sublayer.get_weights())
+        return weights
+
+    def set_weights(self, weights: Sequence[np.ndarray]) -> int:
+        """Load parameter arrays in the order produced by :meth:`get_weights`.
+
+        Returns the number of arrays consumed so nested layers can continue
+        from the right offset.
+        """
+        consumed = 0
+        for parameter in self._parameters.values():
+            value = np.asarray(weights[consumed], dtype=np.float64)
+            if value.shape != parameter.data.shape:
+                raise ValueError(
+                    f"weight shape mismatch for {parameter.name}: "
+                    f"expected {parameter.data.shape}, got {value.shape}"
+                )
+            parameter.data = value.copy()
+            consumed += 1
+        for sublayer in self._sublayers:
+            consumed += sublayer.set_weights(weights[consumed:])
+        return consumed

@@ -1,0 +1,85 @@
+"""1-D convolution layer (channels-last), the spatial feature extractor of Pelican."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple, Union
+
+from .. import tensor as ops
+from ..initializers import Initializer
+from ..tensor import Tensor
+from .base import Layer
+from .core import get_activation
+
+__all__ = ["Conv1D"]
+
+
+class Conv1D(Layer):
+    """1-D convolution over ``(batch, steps, channels)`` inputs.
+
+    Parameters
+    ----------
+    filters:
+        Number of output channels.  In the paper this equals the number of
+        post-encoding input features (196 for UNSW-NB15, 121 for NSL-KDD) so
+        the residual shortcut's ``add`` has matching shapes.
+    kernel_size:
+        Length of the convolution window (10 in the paper).
+    strides:
+        Stride of the window.
+    padding:
+        ``"same"`` (paper setting, keeps the time dimension) or ``"valid"``.
+    activation:
+        Optional activation applied to the convolution output (ReLU in the
+        paper's plain block).
+    """
+
+    def __init__(
+        self,
+        filters: int,
+        kernel_size: int,
+        strides: int = 1,
+        padding: str = "same",
+        activation: Union[str, Callable, None] = None,
+        use_bias: bool = True,
+        kernel_initializer: Union[str, Initializer] = "glorot_uniform",
+        name: Optional[str] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(name=name, seed=seed)
+        if filters <= 0 or kernel_size <= 0 or strides <= 0:
+            raise ValueError("filters, kernel_size and strides must be positive")
+        if padding not in ("same", "valid"):
+            raise ValueError("padding must be 'same' or 'valid'")
+        self.filters = int(filters)
+        self.kernel_size = int(kernel_size)
+        self.strides = int(strides)
+        self.padding = padding
+        self.activation = get_activation(activation)
+        self.use_bias = use_bias
+        self.kernel_initializer = kernel_initializer
+        self.kernel: Optional[Tensor] = None
+        self.bias: Optional[Tensor] = None
+
+    def build(self, input_shape: Tuple[int, ...]) -> None:
+        if len(input_shape) != 3:
+            raise ValueError(
+                f"Conv1D expects (batch, steps, channels) inputs, got {input_shape}"
+            )
+        in_channels = input_shape[-1]
+        self.kernel = self.add_parameter(
+            "kernel",
+            (self.kernel_size, in_channels, self.filters),
+            self.kernel_initializer,
+        )
+        if self.use_bias:
+            self.bias = self.add_parameter("bias", (self.filters,), "zeros")
+
+    def call(self, inputs: Tensor, training: bool = False) -> Tensor:
+        outputs = ops.conv1d(
+            inputs,
+            self.kernel,
+            bias=self.bias if self.use_bias else None,
+            stride=self.strides,
+            padding=self.padding,
+        )
+        return self.activation(outputs)

@@ -1,0 +1,90 @@
+"""Batch normalization.
+
+The paper applies BN before both the convolution and the GRU in every block to
+"reduce the internal covariate shift" and, crucially for Pelican, the residual
+shortcut is taken from the output of the block's first BN layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .. import tensor as ops
+from ..tensor import Tensor
+from .base import Layer
+
+__all__ = ["BatchNormalization"]
+
+
+class BatchNormalization(Layer):
+    """Normalize activations to zero mean / unit variance per channel.
+
+    During training the batch statistics are used and exponential moving
+    averages are maintained; during inference the moving averages are used.
+
+    Parameters
+    ----------
+    momentum:
+        Momentum of the moving-average update.  The default (0.9) is lower
+        than Keras' 0.99 because the scaled-down experiments take far fewer
+        optimizer steps than the paper's full runs; the moving statistics are
+        also seeded from the first training batch for the same reason.
+    epsilon:
+        Small constant added to the variance for numerical stability.
+    """
+
+    def __init__(
+        self,
+        momentum: float = 0.9,
+        epsilon: float = 1e-3,
+        name: Optional[str] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(name=name, seed=seed)
+        if not 0.0 < momentum < 1.0:
+            raise ValueError("momentum must be in (0, 1)")
+        self.momentum = float(momentum)
+        self.epsilon = float(epsilon)
+        self.gamma: Optional[Tensor] = None
+        self.beta: Optional[Tensor] = None
+
+    def build(self, input_shape: Tuple[int, ...]) -> None:
+        channels = input_shape[-1]
+        self.gamma = self.add_parameter("gamma", (channels,), "ones")
+        self.beta = self.add_parameter("beta", (channels,), "zeros")
+        self.add_buffer("moving_mean", np.zeros(channels))
+        self.add_buffer("moving_variance", np.ones(channels))
+        self._moving_stats_initialized = False
+
+    def call(self, inputs: Tensor, training: bool = False) -> Tensor:
+        reduce_axes = tuple(range(inputs.ndim - 1))
+        if training:
+            batch_mean = inputs.data.mean(axis=reduce_axes)
+            batch_variance = inputs.data.var(axis=reduce_axes)
+            if not self._moving_stats_initialized:
+                # Seed the moving statistics with the first batch so inference
+                # is sensible even after very few training steps.
+                self._buffers["moving_mean"] = batch_mean.copy()
+                self._buffers["moving_variance"] = batch_variance.copy()
+                self._moving_stats_initialized = True
+            self._buffers["moving_mean"] = (
+                self.momentum * self._buffers["moving_mean"]
+                + (1.0 - self.momentum) * batch_mean
+            )
+            self._buffers["moving_variance"] = (
+                self.momentum * self._buffers["moving_variance"]
+                + (1.0 - self.momentum) * batch_variance
+            )
+            # Normalisation must participate in the autodiff graph, so the
+            # statistics are recomputed with tensor ops here.
+            mean = ops.reduce_mean(inputs, axis=reduce_axes, keepdims=True)
+            centered = inputs - mean
+            variance = ops.reduce_mean(centered * centered, axis=reduce_axes, keepdims=True)
+            normalized = centered * ops.power(variance + self.epsilon, -0.5)
+        else:
+            mean = self._buffers["moving_mean"]
+            variance = self._buffers["moving_variance"]
+            normalized = (inputs - mean) * ((variance + self.epsilon) ** -0.5)
+        return normalized * self.gamma + self.beta

@@ -1,0 +1,129 @@
+"""Loss functions for training :mod:`repro.nn` models.
+
+Each loss is a small class with a ``__call__(y_true, y_pred)`` method that
+returns a scalar :class:`~repro.nn.tensor.Tensor` so gradients flow back into
+the model.  ``y_true`` is always a plain numpy array; ``y_pred`` is the model's
+output tensor.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor, clip, log, reduce_mean, reduce_sum, softmax
+
+__all__ = [
+    "Loss",
+    "CategoricalCrossentropy",
+    "SparseCategoricalCrossentropy",
+    "BinaryCrossentropy",
+    "MeanSquaredError",
+    "get_loss",
+]
+
+_EPSILON = 1e-7
+
+
+class Loss:
+    """Base class for losses; subclasses implement :meth:`call`."""
+
+    name = "loss"
+
+    def __call__(self, y_true: np.ndarray, y_pred: Tensor) -> Tensor:
+        return self.call(np.asarray(y_true), as_tensor(y_pred))
+
+    def call(self, y_true: np.ndarray, y_pred: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class CategoricalCrossentropy(Loss):
+    """Cross-entropy for one-hot targets.
+
+    Parameters
+    ----------
+    from_logits:
+        When True the predictions are unnormalised scores and a softmax is
+        applied internally; otherwise they are assumed to be probabilities.
+    """
+
+    name = "categorical_crossentropy"
+
+    def __init__(self, from_logits: bool = False) -> None:
+        self.from_logits = from_logits
+
+    def call(self, y_true: np.ndarray, y_pred: Tensor) -> Tensor:
+        if y_true.shape != y_pred.shape:
+            raise ValueError(
+                f"shape mismatch: targets {y_true.shape} vs predictions {y_pred.shape}"
+            )
+        probabilities = softmax(y_pred) if self.from_logits else y_pred
+        probabilities = clip(probabilities, _EPSILON, 1.0 - _EPSILON)
+        per_sample = reduce_sum(as_tensor(y_true) * log(probabilities) * -1.0, axis=-1)
+        return reduce_mean(per_sample)
+
+
+class SparseCategoricalCrossentropy(Loss):
+    """Cross-entropy for integer class-index targets."""
+
+    name = "sparse_categorical_crossentropy"
+
+    def __init__(self, from_logits: bool = False) -> None:
+        self.from_logits = from_logits
+
+    def call(self, y_true: np.ndarray, y_pred: Tensor) -> Tensor:
+        labels = np.asarray(y_true).astype(np.int64).reshape(-1)
+        num_classes = y_pred.shape[-1]
+        one_hot = np.eye(num_classes)[labels]
+        return CategoricalCrossentropy(from_logits=self.from_logits).call(
+            one_hot, y_pred
+        )
+
+
+class BinaryCrossentropy(Loss):
+    """Binary cross-entropy for probabilistic binary predictions."""
+
+    name = "binary_crossentropy"
+
+    def call(self, y_true: np.ndarray, y_pred: Tensor) -> Tensor:
+        y_true = np.asarray(y_true).reshape(y_pred.shape)
+        probabilities = clip(y_pred, _EPSILON, 1.0 - _EPSILON)
+        losses = (
+            as_tensor(y_true) * log(probabilities)
+            + as_tensor(1.0 - y_true) * log(1.0 - probabilities)
+        ) * -1.0
+        return reduce_mean(losses)
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error regression loss."""
+
+    name = "mean_squared_error"
+
+    def call(self, y_true: np.ndarray, y_pred: Tensor) -> Tensor:
+        difference = y_pred - as_tensor(np.asarray(y_true).reshape(y_pred.shape))
+        return reduce_mean(difference * difference)
+
+
+_REGISTRY = {
+    "categorical_crossentropy": CategoricalCrossentropy,
+    "sparse_categorical_crossentropy": SparseCategoricalCrossentropy,
+    "binary_crossentropy": BinaryCrossentropy,
+    "mean_squared_error": MeanSquaredError,
+    "mse": MeanSquaredError,
+}
+
+
+def get_loss(identifier: Union[str, Loss]) -> Loss:
+    """Resolve a loss from a name or pass an instance through."""
+    if isinstance(identifier, Loss):
+        return identifier
+    try:
+        return _REGISTRY[identifier]()
+    except KeyError as exc:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown loss {identifier!r}; known losses: {known}") from exc

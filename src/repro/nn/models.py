@@ -1,0 +1,248 @@
+"""Keras-style model containers: :class:`Sequential` built on :class:`Model`.
+
+A model is a stack (or composition) of layers plus a training loop.  The API
+mirrors the subset of Keras the paper's implementation used: ``compile`` with
+an optimizer/loss/metrics, ``fit`` with batching, shuffling and validation
+data, ``evaluate`` and ``predict``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .callbacks import Callback, CallbackList, History
+from .layers.base import Layer
+from .losses import Loss, get_loss
+from .metrics import get_metric
+from .optimizers import Optimizer, get_optimizer
+from .random import spawn_rng
+from .tensor import Tensor, as_tensor, no_grad
+
+__all__ = ["Model", "Sequential"]
+
+
+class Model(Layer):
+    """Base model providing the compile/fit/evaluate/predict training loop.
+
+    Subclasses implement :meth:`call` (and optionally :meth:`build`) exactly
+    like a layer; the paper's network builders produce :class:`Sequential`
+    instances but the composite Pelican blocks are plain layers that can be
+    embedded in either.
+    """
+
+    def __init__(self, name: Optional[str] = None, seed: Optional[int] = None) -> None:
+        super().__init__(name=name, seed=seed)
+        self.optimizer: Optional[Optimizer] = None
+        self.loss: Optional[Loss] = None
+        self.metric_fns: Dict[str, callable] = {}
+        self.stop_training = False
+        self.history: Optional[History] = None
+        self._shuffle_rng = spawn_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    # Configuration
+    # ------------------------------------------------------------------ #
+    def compile(
+        self,
+        optimizer: Union[str, Optimizer] = "rmsprop",
+        loss: Union[str, Loss] = "categorical_crossentropy",
+        metrics: Optional[Sequence] = None,
+    ) -> None:
+        """Configure the optimizer, loss and training metrics."""
+        self.optimizer = get_optimizer(optimizer)
+        self.loss = get_loss(loss)
+        self.metric_fns = {}
+        for metric in metrics or []:
+            name = metric if isinstance(metric, str) else metric.__name__
+            self.metric_fns[name] = get_metric(metric)
+
+    # ------------------------------------------------------------------ #
+    # Training loop
+    # ------------------------------------------------------------------ #
+    def _iterate_batches(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        batch_size: int,
+        shuffle: bool,
+    ) -> Iterable[Tuple[np.ndarray, np.ndarray]]:
+        indices = np.arange(len(x))
+        if shuffle:
+            self._shuffle_rng.shuffle(indices)
+        for start in range(0, len(x), batch_size):
+            batch = indices[start:start + batch_size]
+            yield x[batch], y[batch]
+
+    def train_on_batch(self, x: np.ndarray, y: np.ndarray) -> Dict[str, float]:
+        """Run one forward/backward pass and apply an optimizer step."""
+        if self.optimizer is None or self.loss is None:
+            raise RuntimeError("the model must be compiled before training")
+        parameters = self.parameters()
+        self.optimizer.zero_grad(parameters)
+        predictions = self(x, training=True)
+        loss_value = self.loss(y, predictions)
+        loss_value.backward()
+        self.optimizer.step(parameters)
+        logs = {"loss": float(loss_value.data)}
+        for name, function in self.metric_fns.items():
+            logs[name] = function(y, predictions.data)
+        return logs
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 1,
+        batch_size: int = 32,
+        validation_data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        validation_split: float = 0.0,
+        shuffle: bool = True,
+        verbose: int = 0,
+        callbacks: Optional[List[Callback]] = None,
+    ) -> History:
+        """Train the model and return the per-epoch :class:`History`.
+
+        Parameters mirror Keras; ``verbose=1`` prints one line per epoch.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if len(x) != len(y):
+            raise ValueError(f"x and y lengths differ: {len(x)} vs {len(y)}")
+        if epochs <= 0 or batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+
+        if validation_data is None and validation_split > 0.0:
+            if not 0.0 < validation_split < 1.0:
+                raise ValueError("validation_split must be in (0, 1)")
+            split = int(len(x) * (1.0 - validation_split))
+            x, validation_x = x[:split], x[split:]
+            y, validation_y = y[:split], y[split:]
+            validation_data = (validation_x, validation_y)
+
+        self.stop_training = False
+        self.history = History()
+        callback_list = CallbackList([self.history, *(callbacks or [])], self)
+        callback_list.on_train_begin()
+
+        for epoch in range(epochs):
+            callback_list.on_epoch_begin(epoch)
+            epoch_start = time.time()
+            batch_losses: List[float] = []
+            batch_metrics: Dict[str, List[float]] = {name: [] for name in self.metric_fns}
+            batch_sizes: List[int] = []
+
+            for batch_x, batch_y in self._iterate_batches(x, y, batch_size, shuffle):
+                logs = self.train_on_batch(batch_x, batch_y)
+                batch_losses.append(logs["loss"])
+                batch_sizes.append(len(batch_x))
+                for name in self.metric_fns:
+                    batch_metrics[name].append(logs[name])
+
+            weights = np.asarray(batch_sizes, dtype=np.float64)
+            epoch_logs = {"loss": float(np.average(batch_losses, weights=weights))}
+            for name, values in batch_metrics.items():
+                epoch_logs[name] = float(np.average(values, weights=weights))
+
+            if validation_data is not None:
+                validation_logs = self.evaluate(
+                    validation_data[0], validation_data[1], batch_size=batch_size
+                )
+                epoch_logs.update({f"val_{k}": v for k, v in validation_logs.items()})
+
+            callback_list.on_epoch_end(epoch, epoch_logs)
+            if verbose:
+                elapsed = time.time() - epoch_start
+                rendered = " - ".join(f"{k}: {v:.4f}" for k, v in epoch_logs.items())
+                print(f"Epoch {epoch + 1}/{epochs} [{elapsed:.1f}s] {rendered}")
+            if self.stop_training:
+                break
+
+        callback_list.on_train_end()
+        return self.history
+
+    # ------------------------------------------------------------------ #
+    # Inference
+    # ------------------------------------------------------------------ #
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Forward pass in inference mode, returning a numpy array."""
+        x = np.asarray(x, dtype=np.float64)
+        outputs: List[np.ndarray] = []
+        with no_grad():
+            for start in range(0, len(x), batch_size):
+                batch = x[start:start + batch_size]
+                outputs.append(self(batch, training=False).data)
+        return np.concatenate(outputs, axis=0) if outputs else np.empty((0,))
+
+    def predict_classes(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Argmax class predictions."""
+        return np.argmax(self.predict(x, batch_size=batch_size), axis=-1)
+
+    def evaluate(
+        self, x: np.ndarray, y: np.ndarray, batch_size: int = 256
+    ) -> Dict[str, float]:
+        """Compute loss and metrics on held-out data (inference mode)."""
+        if self.loss is None:
+            raise RuntimeError("the model must be compiled before evaluation")
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        losses: List[float] = []
+        sizes: List[int] = []
+        predictions: List[np.ndarray] = []
+        with no_grad():
+            for start in range(0, len(x), batch_size):
+                batch_x = x[start:start + batch_size]
+                batch_y = y[start:start + batch_size]
+                batch_pred = self(batch_x, training=False)
+                losses.append(float(self.loss(batch_y, batch_pred).data))
+                sizes.append(len(batch_x))
+                predictions.append(batch_pred.data)
+        merged = np.concatenate(predictions, axis=0)
+        logs = {"loss": float(np.average(losses, weights=sizes))}
+        for name, function in self.metric_fns.items():
+            logs[name] = function(y, merged)
+        return logs
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def summary(self) -> str:
+        """Return a printable summary of the model's layers and parameter counts."""
+        lines = [f"Model: {self.name}", "-" * 60]
+        for layer in self.sublayers:
+            lines.append(f"{layer.name:<40s} params: {layer.count_params():>10,d}")
+        lines.append("-" * 60)
+        lines.append(f"Total trainable parameters: {self.count_params():,d}")
+        return "\n".join(lines)
+
+
+class Sequential(Model):
+    """A linear stack of layers, built lazily on the first input."""
+
+    def __init__(
+        self,
+        layers: Optional[Sequence[Layer]] = None,
+        name: Optional[str] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(name=name, seed=seed)
+        for layer in layers or []:
+            self.add(layer)
+
+    def add(self, layer: Layer) -> None:
+        """Append a layer to the stack."""
+        if not isinstance(layer, Layer):
+            raise TypeError(f"expected a Layer, got {type(layer).__name__}")
+        self.register(layer)
+
+    @property
+    def layers(self) -> List[Layer]:
+        return self.sublayers
+
+    def call(self, inputs: Tensor, training: bool = False) -> Tensor:
+        outputs = inputs
+        for layer in self.sublayers:
+            outputs = layer(outputs, training=training)
+        return outputs

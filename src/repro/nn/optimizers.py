@@ -1,0 +1,262 @@
+"""Gradient-descent optimizers.
+
+The paper trains every network with RMSprop; SGD, Adam, Adagrad and Adadelta
+are provided both for the optimizer ablation bench and for the classical
+baselines that use different training dynamics.
+
+An optimizer updates :class:`~repro.nn.tensor.Tensor` parameters in place using
+the gradients accumulated by ``backward()``.  State (momenta, running averages)
+is keyed by parameter identity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Union
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "RMSprop",
+    "Adam",
+    "Adagrad",
+    "Adadelta",
+    "get_optimizer",
+]
+
+
+class Optimizer:
+    """Base optimizer handling parameter registration and gradient clipping.
+
+    Parameters
+    ----------
+    learning_rate:
+        Step size used by the parameter update rule.
+    clipnorm:
+        When set, the global gradient norm is rescaled to at most this value
+        before the update (a practical guard for the recurrent layers).
+    """
+
+    def __init__(self, learning_rate: float = 0.01, clipnorm: Optional[float] = None) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = float(learning_rate)
+        self.clipnorm = clipnorm
+        self.iterations = 0
+        self._state: Dict[int, Dict[str, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------ #
+    def _slot(self, parameter: Tensor) -> Dict[str, np.ndarray]:
+        slot = self._state.get(id(parameter))
+        if slot is None:
+            slot = {}
+            self._state[id(parameter)] = slot
+        return slot
+
+    def _clip_gradients(self, parameters: List[Tensor]) -> None:
+        if self.clipnorm is None:
+            return
+        total = 0.0
+        for parameter in parameters:
+            if parameter.grad is not None:
+                total += float(np.sum(parameter.grad ** 2))
+        norm = np.sqrt(total)
+        if norm > self.clipnorm and norm > 0:
+            scale = self.clipnorm / norm
+            for parameter in parameters:
+                if parameter.grad is not None:
+                    parameter.grad = parameter.grad * scale
+
+    def step(self, parameters: Iterable[Tensor]) -> None:
+        """Apply one update to every parameter that has a gradient."""
+        parameters = [p for p in parameters if p.requires_grad]
+        self._clip_gradients(parameters)
+        for parameter in parameters:
+            if parameter.grad is None:
+                continue
+            self._update(parameter)
+        self.iterations += 1
+
+    def zero_grad(self, parameters: Iterable[Tensor]) -> None:
+        """Clear the gradients of all parameters."""
+        for parameter in parameters:
+            parameter.zero_grad()
+
+    def _update(self, parameter: Tensor) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(learning_rate={self.learning_rate})"
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional (Nesterov) momentum."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.01,
+        momentum: float = 0.0,
+        nesterov: bool = False,
+        clipnorm: Optional[float] = None,
+    ) -> None:
+        super().__init__(learning_rate, clipnorm)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self.nesterov = nesterov
+
+    def _update(self, parameter: Tensor) -> None:
+        grad = parameter.grad
+        if self.momentum == 0.0:
+            parameter.data -= self.learning_rate * grad
+            return
+        slot = self._slot(parameter)
+        velocity = slot.get("velocity")
+        if velocity is None:
+            velocity = np.zeros_like(parameter.data)
+        velocity = self.momentum * velocity - self.learning_rate * grad
+        slot["velocity"] = velocity
+        if self.nesterov:
+            parameter.data += self.momentum * velocity - self.learning_rate * grad
+        else:
+            parameter.data += velocity
+
+
+class RMSprop(Optimizer):
+    """RMSprop (Tieleman & Hinton) — the optimizer used throughout the paper."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        rho: float = 0.9,
+        epsilon: float = 1e-7,
+        clipnorm: Optional[float] = None,
+    ) -> None:
+        super().__init__(learning_rate, clipnorm)
+        self.rho = rho
+        self.epsilon = epsilon
+
+    def _update(self, parameter: Tensor) -> None:
+        grad = parameter.grad
+        slot = self._slot(parameter)
+        average = slot.get("average")
+        if average is None:
+            average = np.zeros_like(parameter.data)
+        average = self.rho * average + (1.0 - self.rho) * grad ** 2
+        slot["average"] = average
+        parameter.data -= self.learning_rate * grad / (np.sqrt(average) + self.epsilon)
+
+
+class Adam(Optimizer):
+    """Adam optimizer with bias-corrected first and second moments."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta_1: float = 0.9,
+        beta_2: float = 0.999,
+        epsilon: float = 1e-7,
+        clipnorm: Optional[float] = None,
+    ) -> None:
+        super().__init__(learning_rate, clipnorm)
+        self.beta_1 = beta_1
+        self.beta_2 = beta_2
+        self.epsilon = epsilon
+
+    def _update(self, parameter: Tensor) -> None:
+        grad = parameter.grad
+        slot = self._slot(parameter)
+        m = slot.get("m")
+        v = slot.get("v")
+        if m is None:
+            m = np.zeros_like(parameter.data)
+            v = np.zeros_like(parameter.data)
+        timestep = self.iterations + 1
+        m = self.beta_1 * m + (1.0 - self.beta_1) * grad
+        v = self.beta_2 * v + (1.0 - self.beta_2) * grad ** 2
+        slot["m"], slot["v"] = m, v
+        m_hat = m / (1.0 - self.beta_1 ** timestep)
+        v_hat = v / (1.0 - self.beta_2 ** timestep)
+        parameter.data -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+
+class Adagrad(Optimizer):
+    """Adagrad: per-parameter learning rates from accumulated squared gradients."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.01,
+        epsilon: float = 1e-7,
+        clipnorm: Optional[float] = None,
+    ) -> None:
+        super().__init__(learning_rate, clipnorm)
+        self.epsilon = epsilon
+
+    def _update(self, parameter: Tensor) -> None:
+        grad = parameter.grad
+        slot = self._slot(parameter)
+        accumulator = slot.get("accumulator")
+        if accumulator is None:
+            accumulator = np.zeros_like(parameter.data)
+        accumulator = accumulator + grad ** 2
+        slot["accumulator"] = accumulator
+        parameter.data -= self.learning_rate * grad / (np.sqrt(accumulator) + self.epsilon)
+
+
+class Adadelta(Optimizer):
+    """Adadelta (referred to as ADAELTA in the paper's Section III)."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1.0,
+        rho: float = 0.95,
+        epsilon: float = 1e-6,
+        clipnorm: Optional[float] = None,
+    ) -> None:
+        super().__init__(learning_rate, clipnorm)
+        self.rho = rho
+        self.epsilon = epsilon
+
+    def _update(self, parameter: Tensor) -> None:
+        grad = parameter.grad
+        slot = self._slot(parameter)
+        accumulated_grad = slot.get("accumulated_grad")
+        accumulated_update = slot.get("accumulated_update")
+        if accumulated_grad is None:
+            accumulated_grad = np.zeros_like(parameter.data)
+            accumulated_update = np.zeros_like(parameter.data)
+        accumulated_grad = self.rho * accumulated_grad + (1.0 - self.rho) * grad ** 2
+        update = (
+            np.sqrt(accumulated_update + self.epsilon)
+            / np.sqrt(accumulated_grad + self.epsilon)
+            * grad
+        )
+        accumulated_update = self.rho * accumulated_update + (1.0 - self.rho) * update ** 2
+        slot["accumulated_grad"] = accumulated_grad
+        slot["accumulated_update"] = accumulated_update
+        parameter.data -= self.learning_rate * update
+
+
+_REGISTRY = {
+    "sgd": SGD,
+    "rmsprop": RMSprop,
+    "adam": Adam,
+    "adagrad": Adagrad,
+    "adadelta": Adadelta,
+}
+
+
+def get_optimizer(identifier: Union[str, Optimizer], **kwargs) -> Optimizer:
+    """Resolve an optimizer from a name (with kwargs) or pass an instance through."""
+    if isinstance(identifier, Optimizer):
+        return identifier
+    try:
+        return _REGISTRY[identifier.lower()](**kwargs)
+    except KeyError as exc:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(
+            f"unknown optimizer {identifier!r}; known optimizers: {known}"
+        ) from exc

@@ -1,0 +1,41 @@
+"""Central random-number management for reproducible experiments.
+
+All stochastic components of the framework (weight initialization, dropout
+masks, data shuffling, synthetic dataset generation) draw from generators
+created here so that a single :func:`seed` call makes an entire experiment
+deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["seed", "get_rng", "spawn_rng"]
+
+_DEFAULT_SEED = 0
+_GLOBAL_RNG = np.random.default_rng(_DEFAULT_SEED)
+
+
+def seed(value: int) -> None:
+    """Re-seed the framework-wide random generator."""
+    global _GLOBAL_RNG
+    _GLOBAL_RNG = np.random.default_rng(value)
+
+
+def get_rng() -> np.random.Generator:
+    """Return the framework-wide random generator."""
+    return _GLOBAL_RNG
+
+
+def spawn_rng(seed_value: Optional[int] = None) -> np.random.Generator:
+    """Create an independent generator.
+
+    When ``seed_value`` is given the new generator is seeded with it directly;
+    otherwise it is derived from the global generator so repeated calls give
+    different but reproducible streams.
+    """
+    if seed_value is not None:
+        return np.random.default_rng(seed_value)
+    return np.random.default_rng(_GLOBAL_RNG.integers(0, 2**63 - 1))

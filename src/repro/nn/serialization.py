@@ -1,0 +1,62 @@
+"""Model weight serialization.
+
+The paper's workflow trains a detector once and then deploys it inside the
+NIDS (Fig. 1); this module provides the minimal persistence layer that makes
+that workflow possible here: model weights are saved to a single ``.npz``
+archive and can be loaded back into a freshly constructed model of the same
+architecture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from .layers.base import Layer
+
+__all__ = ["save_weights", "load_weights"]
+
+
+def save_weights(model: Layer, path: Union[str, Path]) -> Path:
+    """Save a model's weights to ``path`` (``.npz`` appended if missing).
+
+    The arrays are stored in the deterministic order produced by
+    :meth:`Layer.get_weights`, so loading requires an identically structured
+    (already built) model.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    weights = model.get_weights()
+    if not weights:
+        raise ValueError(
+            "the model has no weights to save; build it by calling it on data first"
+        )
+    arrays = {f"weight_{index:04d}": array for index, array in enumerate(weights)}
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **arrays)
+    return path
+
+
+def load_weights(model: Layer, path: Union[str, Path]) -> Layer:
+    """Load weights saved by :func:`save_weights` into ``model`` (in place).
+
+    The model must already be built (its parameters created) and have the same
+    architecture as the model the weights came from; shape mismatches raise
+    ``ValueError``.
+    """
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    with np.load(path) as archive:
+        keys = sorted(archive.files)
+        weights: List[np.ndarray] = [archive[key] for key in keys]
+    expected = len(model.get_weights())
+    if expected != len(weights):
+        raise ValueError(
+            f"weight count mismatch: model has {expected} arrays, file has {len(weights)}"
+        )
+    model.set_weights(weights)
+    return model

@@ -1,0 +1,806 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This module is the foundation of the :mod:`repro.nn` framework.  It provides a
+:class:`Tensor` class that wraps a ``numpy.ndarray`` and records the operations
+applied to it so that gradients can be computed with a single call to
+:meth:`Tensor.backward`.
+
+The design follows the classic define-by-run tape approach: every operation
+returns a new :class:`Tensor` whose ``_backward`` closure knows how to push the
+incoming gradient to the operation's inputs.  ``backward()`` walks the tape in
+reverse topological order and accumulates gradients into ``Tensor.grad``.
+
+Broadcasting is supported for the elementwise operations; gradients flowing
+into a broadcast input are summed back down to the input's original shape by
+:func:`_unbroadcast`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "add",
+    "mul",
+    "matmul",
+    "relu",
+    "sigmoid",
+    "hard_sigmoid",
+    "tanh",
+    "exp",
+    "log",
+    "softmax",
+    "log_softmax",
+    "concatenate",
+    "stack",
+    "pad1d",
+    "no_grad",
+]
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` to undo numpy broadcasting.
+
+    When an operand of shape ``shape`` was broadcast up to the shape of
+    ``grad`` during the forward pass, the gradient of that operand is the sum
+    of ``grad`` over the broadcast axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that were added by broadcasting.
+    extra_dims = grad.ndim - len(shape)
+    if extra_dims > 0:
+        grad = grad.sum(axis=tuple(range(extra_dims)))
+    # Sum over axes that were size 1 in the original shape.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class _GradMode:
+    """Global switch used by :func:`no_grad` to disable tape recording."""
+
+    enabled = True
+
+
+class no_grad:
+    """Context manager that disables gradient recording.
+
+    Useful for inference passes (``model.predict``) where building the
+    backward graph would only waste memory.
+    """
+
+    def __enter__(self) -> "no_grad":
+        self._previous = _GradMode.enabled
+        _GradMode.enabled = False
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _GradMode.enabled = self._previous
+
+
+class Tensor:
+    """A numpy-backed tensor participating in reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to ``float64`` by default so that the
+        framework's gradient checks are numerically trustworthy.
+    requires_grad:
+        Whether gradients should be accumulated into this tensor during
+        :meth:`backward`.
+    name:
+        Optional human-readable label used in ``repr`` and error messages.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "name", "_backward", "_parents")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        name: Optional[str] = None,
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self.name = name
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+
+    # ------------------------------------------------------------------ #
+    # Basic introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying numpy array (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def __repr__(self) -> str:
+        label = f" name={self.name!r}" if self.name else ""
+        return (
+            f"Tensor(shape={self.shape}, requires_grad={self.requires_grad}{label})"
+        )
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------ #
+    # Gradient plumbing
+    # ------------------------------------------------------------------ #
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    def _accumulate_grad(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=np.float64, copy=True)
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective with respect to this tensor.  For
+            scalar tensors it defaults to ``1.0``.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient is only supported "
+                    f"for scalar tensors, got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            grad = np.broadcast_to(grad, self.data.shape).astype(np.float64)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            node._accumulate_grad(node_grad)
+            if node._backward is None:
+                continue
+            parent_grads = node._backward(node_grad)
+            for parent, parent_grad in zip(node._parents, parent_grads):
+                if parent_grad is None:
+                    continue
+                if not (parent.requires_grad or parent._parents):
+                    continue
+                existing = grads.get(id(parent))
+                if existing is None:
+                    grads[id(parent)] = parent_grad
+                else:
+                    grads[id(parent)] = existing + parent_grad
+
+    # ------------------------------------------------------------------ #
+    # Operator overloads
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        return add(self, other)
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return add(other, self)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return add(self, mul(other, -1.0))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return add(other, mul(self, -1.0))
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        return mul(self, other)
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return mul(other, self)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        return mul(self, power(other, -1.0))
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return mul(other, power(self, -1.0))
+
+    def __neg__(self) -> "Tensor":
+        return mul(self, -1.0)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        return power(self, exponent)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        return matmul(self, other)
+
+    def __getitem__(self, index) -> "Tensor":
+        return getitem(self, index)
+
+    # ------------------------------------------------------------------ #
+    # Convenience methods mirroring the functional API
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return reduce_sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return reduce_mean(self, axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return reduce_max(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return reshape(self, shape)
+
+    def transpose(self, axes: Optional[Sequence[int]] = None) -> "Tensor":
+        return transpose(self, axes)
+
+    @property
+    def T(self) -> "Tensor":
+        return transpose(self)
+
+    def exp(self) -> "Tensor":
+        return exp(self)
+
+    def log(self) -> "Tensor":
+        return log(self)
+
+    def sqrt(self) -> "Tensor":
+        return power(self, 0.5)
+
+    def relu(self) -> "Tensor":
+        return relu(self)
+
+    def sigmoid(self) -> "Tensor":
+        return sigmoid(self)
+
+    def tanh(self) -> "Tensor":
+        return tanh(self)
+
+
+def as_tensor(value: ArrayLike, requires_grad: bool = False) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no copy when already a tensor)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)
+
+
+def _make_result(
+    data: np.ndarray,
+    parents: Tuple[Tensor, ...],
+    backward: Callable[[np.ndarray], Tuple[Optional[np.ndarray], ...]],
+) -> Tensor:
+    """Build an op result tensor, attaching the tape entry when recording."""
+    result = Tensor(data)
+    if _GradMode.enabled and any(p.requires_grad or p._parents for p in parents):
+        result._parents = parents
+        result._backward = backward
+        result.requires_grad = any(p.requires_grad for p in parents)
+    return result
+
+
+# ---------------------------------------------------------------------- #
+# Elementwise arithmetic
+# ---------------------------------------------------------------------- #
+def add(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise, broadcasting addition."""
+    a, b = as_tensor(a), as_tensor(b)
+    data = a.data + b.data
+
+    def backward(grad: np.ndarray):
+        return _unbroadcast(grad, a.shape), _unbroadcast(grad, b.shape)
+
+    return _make_result(data, (a, b), backward)
+
+
+def mul(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise, broadcasting multiplication."""
+    a, b = as_tensor(a), as_tensor(b)
+    data = a.data * b.data
+
+    def backward(grad: np.ndarray):
+        return (
+            _unbroadcast(grad * b.data, a.shape),
+            _unbroadcast(grad * a.data, b.shape),
+        )
+
+    return _make_result(data, (a, b), backward)
+
+
+def power(a: ArrayLike, exponent: float) -> Tensor:
+    """Elementwise power with a constant exponent."""
+    a = as_tensor(a)
+    data = a.data ** exponent
+
+    def backward(grad: np.ndarray):
+        return (grad * exponent * a.data ** (exponent - 1.0),)
+
+    return _make_result(data, (a,), backward)
+
+
+def exp(a: ArrayLike) -> Tensor:
+    """Elementwise exponential."""
+    a = as_tensor(a)
+    data = np.exp(a.data)
+
+    def backward(grad: np.ndarray):
+        return (grad * data,)
+
+    return _make_result(data, (a,), backward)
+
+
+def log(a: ArrayLike) -> Tensor:
+    """Elementwise natural logarithm."""
+    a = as_tensor(a)
+    data = np.log(a.data)
+
+    def backward(grad: np.ndarray):
+        return (grad / a.data,)
+
+    return _make_result(data, (a,), backward)
+
+
+def clip(a: ArrayLike, low: float, high: float) -> Tensor:
+    """Clamp values to ``[low, high]``; gradient is passed only inside the range."""
+    a = as_tensor(a)
+    data = np.clip(a.data, low, high)
+
+    def backward(grad: np.ndarray):
+        mask = (a.data >= low) & (a.data <= high)
+        return (grad * mask,)
+
+    return _make_result(data, (a,), backward)
+
+
+# ---------------------------------------------------------------------- #
+# Activations
+# ---------------------------------------------------------------------- #
+def relu(a: ArrayLike) -> Tensor:
+    """Rectified linear unit."""
+    a = as_tensor(a)
+    data = np.maximum(a.data, 0.0)
+
+    def backward(grad: np.ndarray):
+        return (grad * (a.data > 0.0),)
+
+    return _make_result(data, (a,), backward)
+
+
+def sigmoid(a: ArrayLike) -> Tensor:
+    """Numerically stable logistic sigmoid."""
+    a = as_tensor(a)
+    x = a.data
+    data = np.where(x >= 0, 1.0 / (1.0 + np.exp(-x)), np.exp(x) / (1.0 + np.exp(x)))
+
+    def backward(grad: np.ndarray):
+        return (grad * data * (1.0 - data),)
+
+    return _make_result(data, (a,), backward)
+
+
+def hard_sigmoid(a: ArrayLike) -> Tensor:
+    """Piecewise-linear sigmoid approximation used as the GRU recurrent activation.
+
+    Matches the Keras definition ``max(0, min(1, 0.2 * x + 0.5))``.
+    """
+    a = as_tensor(a)
+    data = np.clip(0.2 * a.data + 0.5, 0.0, 1.0)
+
+    def backward(grad: np.ndarray):
+        inside = (a.data > -2.5) & (a.data < 2.5)
+        return (grad * 0.2 * inside,)
+
+    return _make_result(data, (a,), backward)
+
+
+def tanh(a: ArrayLike) -> Tensor:
+    """Hyperbolic tangent."""
+    a = as_tensor(a)
+    data = np.tanh(a.data)
+
+    def backward(grad: np.ndarray):
+        return (grad * (1.0 - data ** 2),)
+
+    return _make_result(data, (a,), backward)
+
+
+def softmax(a: ArrayLike, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` (numerically stabilised by max subtraction)."""
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    data = exps / exps.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray):
+        dot = (grad * data).sum(axis=axis, keepdims=True)
+        return (data * (grad - dot),)
+
+    return _make_result(data, (a,), backward)
+
+
+def log_softmax(a: ArrayLike, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis``."""
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    data = shifted - log_sum
+
+    def backward(grad: np.ndarray):
+        softmax_vals = np.exp(data)
+        return (grad - softmax_vals * grad.sum(axis=axis, keepdims=True),)
+
+    return _make_result(data, (a,), backward)
+
+
+# ---------------------------------------------------------------------- #
+# Linear algebra
+# ---------------------------------------------------------------------- #
+def matmul(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Matrix product supporting 2-D operands (and batched left operands)."""
+    a, b = as_tensor(a), as_tensor(b)
+    data = a.data @ b.data
+
+    def backward(grad: np.ndarray):
+        grad_a = grad @ np.swapaxes(b.data, -1, -2)
+        grad_b = np.swapaxes(a.data, -1, -2) @ grad
+        return _unbroadcast(grad_a, a.shape), _unbroadcast(grad_b, b.shape)
+
+    return _make_result(data, (a, b), backward)
+
+
+# ---------------------------------------------------------------------- #
+# Reductions
+# ---------------------------------------------------------------------- #
+def reduce_sum(a: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
+    """Sum over ``axis`` (all elements when ``axis`` is None)."""
+    a = as_tensor(a)
+    data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad: np.ndarray):
+        if axis is None:
+            return (np.broadcast_to(grad, a.shape).astype(np.float64),)
+        grad_expanded = grad
+        if not keepdims:
+            grad_expanded = np.expand_dims(grad, axis=axis)
+        return (np.broadcast_to(grad_expanded, a.shape).astype(np.float64),)
+
+    return _make_result(data, (a,), backward)
+
+
+def reduce_mean(a: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
+    """Mean over ``axis`` (all elements when ``axis`` is None)."""
+    a = as_tensor(a)
+    data = a.data.mean(axis=axis, keepdims=keepdims)
+    if axis is None:
+        count = a.data.size
+    elif isinstance(axis, tuple):
+        count = int(np.prod([a.shape[ax] for ax in axis]))
+    else:
+        count = a.shape[axis]
+
+    def backward(grad: np.ndarray):
+        if axis is None:
+            return (np.broadcast_to(grad / count, a.shape).astype(np.float64),)
+        grad_expanded = grad
+        if not keepdims:
+            grad_expanded = np.expand_dims(grad, axis=axis)
+        return (
+            np.broadcast_to(grad_expanded / count, a.shape).astype(np.float64),
+        )
+
+    return _make_result(data, (a,), backward)
+
+
+def reduce_max(a: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
+    """Maximum over ``axis``; ties split the gradient evenly."""
+    a = as_tensor(a)
+    data = a.data.max(axis=axis, keepdims=keepdims)
+
+    def backward(grad: np.ndarray):
+        data_expanded = data
+        grad_expanded = grad
+        if axis is not None and not keepdims:
+            data_expanded = np.expand_dims(data, axis=axis)
+            grad_expanded = np.expand_dims(grad, axis=axis)
+        mask = (a.data == data_expanded).astype(np.float64)
+        mask_sum = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+        return (mask / mask_sum * grad_expanded,)
+
+    return _make_result(data, (a,), backward)
+
+
+# ---------------------------------------------------------------------- #
+# Shape manipulation
+# ---------------------------------------------------------------------- #
+def reshape(a: ArrayLike, shape: Tuple[int, ...]) -> Tensor:
+    """Reshape without copying data."""
+    a = as_tensor(a)
+    data = a.data.reshape(shape)
+
+    def backward(grad: np.ndarray):
+        return (grad.reshape(a.shape),)
+
+    return _make_result(data, (a,), backward)
+
+
+def transpose(a: ArrayLike, axes: Optional[Sequence[int]] = None) -> Tensor:
+    """Permute tensor axes (reverse order when ``axes`` is None)."""
+    a = as_tensor(a)
+    data = np.transpose(a.data, axes)
+
+    def backward(grad: np.ndarray):
+        if axes is None:
+            return (np.transpose(grad),)
+        inverse = np.argsort(axes)
+        return (np.transpose(grad, inverse),)
+
+    return _make_result(data, (a,), backward)
+
+
+def getitem(a: ArrayLike, index) -> Tensor:
+    """Tensor indexing/slicing; the gradient is scattered back with ``add.at``."""
+    a = as_tensor(a)
+    data = a.data[index]
+
+    def backward(grad: np.ndarray):
+        full = np.zeros_like(a.data)
+        np.add.at(full, index, grad)
+        return (full,)
+
+    return _make_result(data, (a,), backward)
+
+
+def concatenate(tensors: Sequence[ArrayLike], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    boundaries = np.cumsum(sizes)[:-1]
+
+    def backward(grad: np.ndarray):
+        return tuple(np.split(grad, boundaries, axis=axis))
+
+    return _make_result(data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[ArrayLike], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray):
+        slices = np.split(grad, len(tensors), axis=axis)
+        return tuple(np.squeeze(s, axis=axis) for s in slices)
+
+    return _make_result(data, tuple(tensors), backward)
+
+
+def pad1d(a: ArrayLike, left: int, right: int) -> Tensor:
+    """Zero-pad the time axis (axis 1) of a ``(batch, steps, channels)`` tensor."""
+    a = as_tensor(a)
+    data = np.pad(a.data, ((0, 0), (left, right), (0, 0)))
+
+    def backward(grad: np.ndarray):
+        steps = a.shape[1]
+        return (grad[:, left:left + steps, :],)
+
+    return _make_result(data, (a,), backward)
+
+
+# ---------------------------------------------------------------------- #
+# Convolution and pooling primitives (1-D, channels-last)
+# ---------------------------------------------------------------------- #
+def _im2col1d(x: np.ndarray, kernel_size: int, stride: int) -> np.ndarray:
+    """Turn ``(batch, steps, channels)`` into ``(batch, out_steps, kernel*channels)``."""
+    batch, steps, channels = x.shape
+    out_steps = (steps - kernel_size) // stride + 1
+    strides = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(batch, out_steps, kernel_size, channels),
+        strides=(strides[0], strides[1] * stride, strides[1], strides[2]),
+        writeable=False,
+    )
+    return windows.reshape(batch, out_steps, kernel_size * channels)
+
+
+def conv1d(
+    x: ArrayLike,
+    kernel: ArrayLike,
+    bias: Optional[ArrayLike] = None,
+    stride: int = 1,
+    padding: str = "same",
+) -> Tensor:
+    """1-D convolution over a ``(batch, steps, in_channels)`` input.
+
+    Parameters
+    ----------
+    kernel:
+        Weight tensor of shape ``(kernel_size, in_channels, out_channels)``.
+    padding:
+        ``"same"`` pads so that ``out_steps == ceil(steps / stride)``;
+        ``"valid"`` applies no padding.
+    """
+    x, kernel = as_tensor(x), as_tensor(kernel)
+    kernel_size, in_channels, out_channels = kernel.shape
+    batch, steps, channels = x.shape
+    if channels != in_channels:
+        raise ValueError(
+            f"conv1d expected {in_channels} input channels, got {channels}"
+        )
+
+    if padding == "same":
+        out_steps = int(np.ceil(steps / stride))
+        pad_total = max((out_steps - 1) * stride + kernel_size - steps, 0)
+        pad_left = pad_total // 2
+        pad_right = pad_total - pad_left
+    elif padding == "valid":
+        pad_left = pad_right = 0
+    else:
+        raise ValueError(f"unknown padding mode: {padding!r}")
+
+    x_padded = np.pad(x.data, ((0, 0), (pad_left, pad_right), (0, 0)))
+    columns = _im2col1d(x_padded, kernel_size, stride)
+    kernel_matrix = kernel.data.reshape(kernel_size * in_channels, out_channels)
+    data = columns @ kernel_matrix
+    if bias is not None:
+        bias = as_tensor(bias)
+        data = data + bias.data
+
+    padded_steps = x_padded.shape[1]
+
+    def backward(grad: np.ndarray):
+        out_steps_actual = grad.shape[1]
+        grad_columns = grad @ kernel_matrix.T
+        grad_columns = grad_columns.reshape(
+            batch, out_steps_actual, kernel_size, in_channels
+        )
+        grad_x_padded = np.zeros((batch, padded_steps, in_channels))
+        for step in range(out_steps_actual):
+            start = step * stride
+            grad_x_padded[:, start:start + kernel_size, :] += grad_columns[:, step]
+        grad_x = grad_x_padded[:, pad_left:pad_left + steps, :]
+
+        grad_kernel = columns.reshape(-1, kernel_size * in_channels).T @ grad.reshape(
+            -1, out_channels
+        )
+        grad_kernel = grad_kernel.reshape(kernel_size, in_channels, out_channels)
+
+        grads = [grad_x, grad_kernel]
+        if bias is not None:
+            grads.append(grad.sum(axis=(0, 1)))
+        return tuple(grads)
+
+    parents = (x, kernel) if bias is None else (x, kernel, bias)
+    return _make_result(data, parents, backward)
+
+
+def max_pool1d(
+    x: ArrayLike, pool_size: int = 2, stride: Optional[int] = None, padding: str = "same"
+) -> Tensor:
+    """1-D max pooling over a ``(batch, steps, channels)`` input."""
+    x = as_tensor(x)
+    if stride is None:
+        stride = pool_size
+    batch, steps, channels = x.shape
+
+    if padding == "same":
+        out_steps = int(np.ceil(steps / stride))
+        pad_total = max((out_steps - 1) * stride + pool_size - steps, 0)
+        pad_left = pad_total // 2
+        pad_right = pad_total - pad_left
+    elif padding == "valid":
+        pad_left = pad_right = 0
+    else:
+        raise ValueError(f"unknown padding mode: {padding!r}")
+
+    x_padded = np.pad(
+        x.data, ((0, 0), (pad_left, pad_right), (0, 0)), constant_values=-np.inf
+    )
+    padded_steps = x_padded.shape[1]
+    out_steps = (padded_steps - pool_size) // stride + 1
+    strides = x_padded.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x_padded,
+        shape=(batch, out_steps, pool_size, channels),
+        strides=(strides[0], strides[1] * stride, strides[1], strides[2]),
+        writeable=False,
+    )
+    data = windows.max(axis=2)
+    argmax = windows.argmax(axis=2)
+
+    def backward(grad: np.ndarray):
+        grad_padded = np.zeros((batch, padded_steps, channels))
+        batch_idx, channel_idx = np.meshgrid(
+            np.arange(batch), np.arange(channels), indexing="ij"
+        )
+        for step in range(out_steps):
+            positions = step * stride + argmax[:, step, :]
+            np.add.at(
+                grad_padded,
+                (batch_idx, positions, channel_idx),
+                grad[:, step, :],
+            )
+        return (grad_padded[:, pad_left:pad_left + steps, :],)
+
+    return _make_result(data, (x,), backward)
+
+
+def global_average_pool1d(x: ArrayLike) -> Tensor:
+    """Average over the time axis of a ``(batch, steps, channels)`` input."""
+    return reduce_mean(as_tensor(x), axis=1)
+
+
+def dropout(x: ArrayLike, rate: float, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout: zero activations with probability ``rate`` and rescale."""
+    x = as_tensor(x)
+    if rate <= 0.0:
+        return x
+    if rate >= 1.0:
+        raise ValueError("dropout rate must be < 1")
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.shape) >= rate) / (1.0 - rate)
+    data = x.data * mask
+
+    def backward(grad: np.ndarray):
+        return (grad * mask,)
+
+    return _make_result(data, (x,), backward)
+
+
+def embedding_lookup(weights: ArrayLike, indices: np.ndarray) -> Tensor:
+    """Row lookup into an embedding matrix (used by the HAST-IDS baseline)."""
+    weights = as_tensor(weights)
+    indices = np.asarray(indices, dtype=np.int64)
+    data = weights.data[indices]
+
+    def backward(grad: np.ndarray):
+        full = np.zeros_like(weights.data)
+        np.add.at(full, indices, grad)
+        return (full,)
+
+    return _make_result(data, (weights,), backward)

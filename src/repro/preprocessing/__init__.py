@@ -1,0 +1,25 @@
+"""``repro.preprocessing`` — the paper's Section V-A data pipeline.
+
+One-hot encoding of categorical columns ("numerical conversion"),
+standardization ("normalization") and k-fold split creation, composed by
+:class:`IDSPreprocessor`.
+"""
+
+from .encoding import LabelEncoder, OneHotEncoder, one_hot
+from .kfold import KFold, StratifiedKFold, train_test_indices
+from .pipeline import IDSPreprocessor, PreparedData, PreparedSplit
+from .scaling import MinMaxScaler, StandardScaler
+
+__all__ = [
+    "OneHotEncoder",
+    "LabelEncoder",
+    "one_hot",
+    "StandardScaler",
+    "MinMaxScaler",
+    "KFold",
+    "StratifiedKFold",
+    "train_test_indices",
+    "IDSPreprocessor",
+    "PreparedData",
+    "PreparedSplit",
+]

@@ -1,0 +1,121 @@
+"""Cross-validation splitters: the paper's "Step 3, Training/Testing Dataset
+Creation" uses 10-fold cross-validation; the stratified variant keeps the rare
+attack classes (U2R, Worms) represented in every fold.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["KFold", "StratifiedKFold", "train_test_indices"]
+
+
+class KFold:
+    """Plain k-fold splitter over sample indices.
+
+    Parameters
+    ----------
+    n_splits:
+        Number of folds (the paper uses ``k=10``).
+    shuffle:
+        Whether to permute the indices before splitting.
+    seed:
+        Seed for the shuffle permutation.
+    """
+
+    def __init__(self, n_splits: int = 10, shuffle: bool = True, seed: int = 0) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be at least 2")
+        self.n_splits = int(n_splits)
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def split(self, n_samples: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, test_indices)`` pairs."""
+        if n_samples < self.n_splits:
+            raise ValueError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            np.random.default_rng(self.seed).shuffle(indices)
+        folds = np.array_split(indices, self.n_splits)
+        for position in range(self.n_splits):
+            test = folds[position]
+            train = np.concatenate(
+                [folds[i] for i in range(self.n_splits) if i != position]
+            )
+            yield train, test
+
+
+class StratifiedKFold:
+    """K-fold splitter that preserves per-class proportions in every fold."""
+
+    def __init__(self, n_splits: int = 10, shuffle: bool = True, seed: int = 0) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be at least 2")
+        self.n_splits = int(n_splits)
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def split(self, labels: np.ndarray) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, test_indices)`` pairs stratified by ``labels``."""
+        labels = np.asarray(labels)
+        n_samples = len(labels)
+        if n_samples < self.n_splits:
+            raise ValueError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        rng = np.random.default_rng(self.seed)
+
+        # Assign each class's samples round-robin to folds so that every fold
+        # receives as equal a share as possible (rare classes may be missing
+        # from some test folds when they have fewer samples than folds).
+        fold_assignment = np.empty(n_samples, dtype=np.int64)
+        for class_value in np.unique(labels):
+            class_indices = np.flatnonzero(labels == class_value)
+            if self.shuffle:
+                rng.shuffle(class_indices)
+            fold_ids = np.arange(len(class_indices)) % self.n_splits
+            fold_assignment[class_indices] = fold_ids
+
+        for position in range(self.n_splits):
+            test = np.flatnonzero(fold_assignment == position)
+            train = np.flatnonzero(fold_assignment != position)
+            if self.shuffle:
+                rng.shuffle(test)
+                rng.shuffle(train)
+            yield train, test
+
+
+def train_test_indices(
+    n_samples: int, test_fraction: float = 0.2, seed: int = 0,
+    labels: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Single random (optionally stratified) train/test split of indices."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    if labels is None:
+        order = rng.permutation(n_samples)
+        n_test = max(1, int(round(n_samples * test_fraction)))
+        return order[n_test:], order[:n_test]
+
+    labels = np.asarray(labels)
+    if len(labels) != n_samples:
+        raise ValueError("labels length must equal n_samples")
+    train_parts: List[np.ndarray] = []
+    test_parts: List[np.ndarray] = []
+    for class_value in np.unique(labels):
+        class_indices = np.flatnonzero(labels == class_value)
+        rng.shuffle(class_indices)
+        n_test = max(1, int(round(len(class_indices) * test_fraction)))
+        test_parts.append(class_indices[:n_test])
+        train_parts.append(class_indices[n_test:])
+    train = np.concatenate(train_parts)
+    test = np.concatenate(test_parts)
+    rng.shuffle(train)
+    rng.shuffle(test)
+    return train, test

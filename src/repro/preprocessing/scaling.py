@@ -1,0 +1,83 @@
+"""Feature scaling: the paper's "Step 2, Normalization" (zero mean, unit variance)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["StandardScaler", "MinMaxScaler"]
+
+
+class StandardScaler:
+    """Standardize columns to zero mean and unit standard deviation.
+
+    Constant columns (zero variance) are left centred but unscaled, matching
+    scikit-learn's behaviour and avoiding division by zero for features such
+    as ``num_outbound_cmds`` that are constant in NSL-KDD.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray) -> "StandardScaler":
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError("StandardScaler expects a 2-D (samples x features) array")
+        self.mean_ = features.mean(axis=0)
+        scale = features.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler must be fitted before transform")
+        features = np.asarray(features, dtype=np.float64)
+        if features.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"expected {self.mean_.shape[0]} features, got {features.shape[1]}"
+            )
+        return (features - self.mean_) / self.scale_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)
+
+    def inverse_transform(self, features: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler must be fitted before inverse_transform")
+        return np.asarray(features, dtype=np.float64) * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale columns linearly to ``[minimum, maximum]`` (default ``[0, 1]``)."""
+
+    def __init__(self, feature_range: tuple = (0.0, 1.0)) -> None:
+        low, high = feature_range
+        if high <= low:
+            raise ValueError("feature_range must be an increasing pair")
+        self.feature_range = (float(low), float(high))
+        self.data_min_: Optional[np.ndarray] = None
+        self.data_max_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray) -> "MinMaxScaler":
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError("MinMaxScaler expects a 2-D (samples x features) array")
+        self.data_min_ = features.min(axis=0)
+        self.data_max_ = features.max(axis=0)
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.data_min_ is None or self.data_max_ is None:
+            raise RuntimeError("MinMaxScaler must be fitted before transform")
+        features = np.asarray(features, dtype=np.float64)
+        span = self.data_max_ - self.data_min_
+        span[span == 0.0] = 1.0
+        low, high = self.feature_range
+        unit = (features - self.data_min_) / span
+        return unit * (high - low) + low
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)

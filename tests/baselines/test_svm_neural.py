@@ -1,0 +1,150 @@
+"""Tests for the kernel SVM and the neural baselines (MLP, CNN, LSTM)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CNNClassifier,
+    KernelSVM,
+    LSTMClassifier,
+    MLPClassifier,
+    rbf_kernel,
+)
+
+
+def _blobs(n=200, seed=0, separation=4.0, classes=2, features=5):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=separation, size=(classes, features))
+    labels = rng.integers(0, classes, size=n)
+    return centers[labels] + rng.normal(size=(n, features)), labels
+
+
+def _circles(n=300, seed=0):
+    """Concentric circles: linearly inseparable, easy for an RBF kernel."""
+    rng = np.random.default_rng(seed)
+    radii = np.where(rng.random(n) < 0.5, 1.0, 3.0)
+    angles = rng.uniform(0, 2 * np.pi, size=n)
+    X = np.column_stack([radii * np.cos(angles), radii * np.sin(angles)])
+    X += rng.normal(scale=0.15, size=X.shape)
+    return X, (radii > 2.0).astype(int)
+
+
+class TestRBFKernel:
+    def test_diagonal_is_one(self):
+        X = np.random.default_rng(0).normal(size=(10, 4))
+        kernel = rbf_kernel(X, X, gamma=0.5)
+        assert np.allclose(np.diag(kernel), 1.0)
+
+    def test_symmetry(self):
+        X = np.random.default_rng(1).normal(size=(8, 3))
+        kernel = rbf_kernel(X, X, gamma=1.0)
+        assert np.allclose(kernel, kernel.T)
+
+    def test_values_in_unit_interval(self):
+        a = np.random.default_rng(2).normal(size=(5, 3))
+        b = np.random.default_rng(3).normal(size=(7, 3))
+        kernel = rbf_kernel(a, b, gamma=0.3)
+        assert kernel.shape == (5, 7)
+        assert (kernel > 0).all() and (kernel <= 1).all()
+
+    def test_decays_with_distance(self):
+        a = np.array([[0.0, 0.0]])
+        near, far = np.array([[0.1, 0.0]]), np.array([[5.0, 0.0]])
+        assert rbf_kernel(a, near, 1.0)[0, 0] > rbf_kernel(a, far, 1.0)[0, 0]
+
+
+class TestKernelSVM:
+    def test_separable_blobs(self):
+        X, y = _blobs()
+        svm = KernelSVM(C=1.0, max_iterations=200, seed=0)
+        assert svm.fit(X, y).score(X, y) > 0.95
+
+    def test_nonlinear_circles(self):
+        X, y = _circles()
+        svm = KernelSVM(C=5.0, gamma=1.0, max_iterations=400, seed=0)
+        assert svm.fit(X, y).score(X, y) > 0.9
+
+    def test_multiclass_one_vs_rest(self):
+        X, y = _blobs(classes=4, n=400)
+        svm = KernelSVM(max_iterations=200, seed=0)
+        assert svm.fit(X, y).score(X, y) > 0.9
+
+    def test_decision_function_shape(self):
+        X, y = _blobs(classes=3, n=120)
+        svm = KernelSVM(max_iterations=100, seed=0).fit(X, y)
+        assert svm.decision_function(X).shape == (120, 3)
+
+    def test_predict_proba_normalised(self):
+        X, y = _blobs(n=100)
+        svm = KernelSVM(max_iterations=100, seed=0).fit(X, y)
+        probabilities = svm.predict_proba(X)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+        assert (probabilities >= 0).all()
+
+    def test_subsampling_cap_respected(self):
+        X, y = _blobs(n=500)
+        svm = KernelSVM(max_train_samples=100, max_iterations=50, seed=0).fit(X, y)
+        assert len(svm._support_vectors) <= 110  # stratified rounding slack
+
+    def test_explicit_gamma(self):
+        X, y = _blobs(n=80)
+        svm = KernelSVM(gamma=0.5, max_iterations=50).fit(X, y)
+        assert svm._gamma_value == pytest.approx(0.5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            KernelSVM(C=0.0)
+        with pytest.raises(ValueError):
+            KernelSVM(max_iterations=0)
+
+    def test_unfitted_decision_function_rejected(self):
+        with pytest.raises(RuntimeError):
+            KernelSVM().decision_function(np.ones((2, 2)))
+
+
+class TestNeuralBaselines:
+    def test_mlp_learns_blobs(self):
+        X, y = _blobs(n=300, classes=3)
+        mlp = MLPClassifier(epochs=20, batch_size=32, seed=0)
+        assert mlp.fit(X, y).score(X, y) > 0.9
+
+    def test_mlp_predict_proba(self):
+        X, y = _blobs(n=100)
+        mlp = MLPClassifier(epochs=5, seed=0).fit(X, y)
+        probabilities = mlp.predict_proba(X)
+        assert probabilities.shape == (100, 2)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_mlp_custom_architecture(self):
+        mlp = MLPClassifier(hidden_units=(32,), dropout_rate=0.0, epochs=2, seed=0)
+        X, y = _blobs(n=60)
+        mlp.fit(X, y)
+        assert len(mlp.network.layers) == 2  # one hidden + softmax head
+
+    def test_mlp_invalid_architecture(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(hidden_units=())
+
+    def test_cnn_learns_blobs(self):
+        X, y = _blobs(n=250, classes=2, features=12)
+        cnn = CNNClassifier(filters=16, kernel_size=3, epochs=12, seed=0)
+        assert cnn.fit(X, y).score(X, y) > 0.85
+
+    def test_lstm_learns_blobs(self):
+        X, y = _blobs(n=250, classes=2, features=12)
+        lstm = LSTMClassifier(units=16, epochs=12, seed=0)
+        assert lstm.fit(X, y).score(X, y) > 0.85
+
+    def test_neural_invalid_epochs(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(epochs=0)
+
+    def test_unfitted_predict_proba_rejected(self):
+        with pytest.raises(RuntimeError):
+            MLPClassifier().predict_proba(np.ones((2, 3)))
+
+    def test_classifier_names(self):
+        assert MLPClassifier().name == "mlp"
+        assert CNNClassifier().name == "cnn"
+        assert LSTMClassifier().name == "lstm"
+        assert KernelSVM().name == "svm-rbf"

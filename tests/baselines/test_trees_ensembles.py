@@ -1,0 +1,180 @@
+"""Tests for the decision tree, random forest and AdaBoost baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AdaBoostClassifier,
+    DecisionTreeClassifier,
+    RandomForestClassifier,
+)
+
+
+def _blobs(n=300, seed=0, separation=4.0, classes=3, features=6):
+    """Well-separated Gaussian blobs: any sensible classifier should ace this."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=separation, size=(classes, features))
+    labels = rng.integers(0, classes, size=n)
+    features_matrix = centers[labels] + rng.normal(size=(n, features))
+    return features_matrix, labels
+
+
+def _xor(n=400, seed=0):
+    """The XOR problem: not linearly separable, solvable by depth >= 2 trees."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    return X, y
+
+
+class TestDecisionTree:
+    def test_fits_separable_blobs(self):
+        X, y = _blobs()
+        tree = DecisionTreeClassifier(max_depth=8)
+        assert tree.fit(X, y).score(X, y) > 0.95
+
+    def test_solves_xor_with_depth_two(self):
+        X, y = _xor()
+        tree = DecisionTreeClassifier(max_depth=3)
+        assert tree.fit(X, y).score(X, y) > 0.95
+
+    def test_depth_one_cannot_solve_xor(self):
+        X, y = _xor()
+        stump = DecisionTreeClassifier(max_depth=1)
+        assert stump.fit(X, y).score(X, y) < 0.75
+
+    def test_max_depth_respected(self):
+        X, y = _blobs(n=200)
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert tree.depth <= 2
+
+    def test_predict_proba_rows_sum_to_one(self):
+        X, y = _blobs(n=150)
+        tree = DecisionTreeClassifier(max_depth=5).fit(X, y)
+        probabilities = tree.predict_proba(X)
+        assert probabilities.shape == (150, 3)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_predict_maps_back_to_original_labels(self):
+        X, _ = _blobs(n=100, classes=2)
+        labels = np.where(np.arange(100) % 2 == 0, 7, 42)  # non-contiguous ids
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, labels)
+        assert set(tree.predict(X)) <= {7, 42}
+
+    def test_single_class_training_set(self):
+        X = np.random.default_rng(0).normal(size=(20, 3))
+        tree = DecisionTreeClassifier().fit(X, np.zeros(20, dtype=int))
+        assert (tree.predict(X) == 0).all()
+
+    def test_min_samples_split_limits_growth(self):
+        X, y = _blobs(n=100)
+        tree = DecisionTreeClassifier(min_samples_split=1000).fit(X, y)
+        assert tree.depth == 0
+
+    def test_weighted_fit_prioritises_heavy_samples(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 1))
+        y = (X[:, 0] > 0).astype(int)
+        # Mislabel a block of points but give them negligible weight.
+        y_corrupted = y.copy()
+        y_corrupted[:50] = 1 - y_corrupted[:50]
+        weights = np.ones(200)
+        weights[:50] = 1e-6
+        stump = DecisionTreeClassifier(max_depth=1)
+        stump.fit_weighted(X, y_corrupted, weights)
+        assert np.mean(stump.predict(X[50:]) == y[50:]) > 0.95
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_split=1)
+
+    def test_unfitted_predict_rejected(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict(np.ones((2, 2)))
+
+    def test_validation_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.ones((5, 2)), np.ones(4))
+
+    def test_validation_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.ones((0, 2)), np.ones(0))
+
+    def test_three_dimensional_single_step_inputs_accepted(self):
+        X, y = _blobs(n=60)
+        tree = DecisionTreeClassifier(max_depth=3).fit(X[:, np.newaxis, :], y)
+        assert tree.predict(X[:, np.newaxis, :]).shape == (60,)
+
+
+class TestRandomForest:
+    def test_fits_blobs(self):
+        X, y = _blobs()
+        forest = RandomForestClassifier(n_estimators=10, max_depth=6, seed=0)
+        assert forest.fit(X, y).score(X, y) > 0.95
+
+    def test_outperforms_single_stump_on_xor(self):
+        X, y = _xor(n=500)
+        forest = RandomForestClassifier(n_estimators=20, max_depth=4, seed=0)
+        stump = DecisionTreeClassifier(max_depth=1)
+        assert forest.fit(X, y).score(X, y) > stump.fit(X, y).score(X, y)
+
+    def test_number_of_estimators(self):
+        X, y = _blobs(n=100)
+        forest = RandomForestClassifier(n_estimators=7, max_depth=3).fit(X, y)
+        assert len(forest.estimators_) == 7
+
+    def test_probabilities_are_averaged_votes(self):
+        X, y = _blobs(n=120)
+        forest = RandomForestClassifier(n_estimators=5, max_depth=4).fit(X, y)
+        probabilities = forest.predict_proba(X)
+        assert probabilities.shape == (120, 3)
+        assert (probabilities >= 0).all()
+        assert np.allclose(probabilities.sum(axis=1), 1.0, atol=1e-8)
+
+    def test_deterministic_given_seed(self):
+        X, y = _blobs(n=150)
+        first = RandomForestClassifier(n_estimators=5, seed=3).fit(X, y).predict(X)
+        second = RandomForestClassifier(n_estimators=5, seed=3).fit(X, y).predict(X)
+        assert np.array_equal(first, second)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+        with pytest.raises(ValueError):
+            RandomForestClassifier(bootstrap_fraction=0.0)
+
+
+class TestAdaBoost:
+    def test_boosting_beats_single_stump_on_blobs(self):
+        X, y = _blobs(classes=2, separation=2.0, n=400)
+        stump_accuracy = DecisionTreeClassifier(max_depth=1).fit(X, y).score(X, y)
+        boosted = AdaBoostClassifier(n_estimators=30, max_depth=1, seed=0).fit(X, y)
+        assert boosted.score(X, y) >= stump_accuracy
+
+    def test_estimator_weights_positive(self):
+        X, y = _blobs(classes=2, n=200)
+        boosted = AdaBoostClassifier(n_estimators=10, seed=0).fit(X, y)
+        assert all(weight > 0 for weight in boosted.estimator_weights_)
+
+    def test_stops_early_on_perfect_learner(self):
+        X, y = _blobs(classes=2, separation=10.0, n=200)
+        boosted = AdaBoostClassifier(n_estimators=50, max_depth=3, seed=0).fit(X, y)
+        assert len(boosted.estimators_) < 50
+
+    def test_multiclass_samme(self):
+        X, y = _blobs(classes=4, n=400, separation=3.0)
+        boosted = AdaBoostClassifier(n_estimators=25, max_depth=2, seed=0).fit(X, y)
+        assert boosted.score(X, y) > 0.8
+
+    def test_predict_proba_shape(self):
+        X, y = _blobs(classes=3, n=150)
+        boosted = AdaBoostClassifier(n_estimators=10, max_depth=2).fit(X, y)
+        assert boosted.predict_proba(X).shape == (150, 3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AdaBoostClassifier(n_estimators=0)
+        with pytest.raises(ValueError):
+            AdaBoostClassifier(learning_rate=0.0)

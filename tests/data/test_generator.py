@@ -1,0 +1,234 @@
+"""Tests for the synthetic traffic generator and the TrafficRecords container."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DifficultyProfile,
+    NSLKDD_SCHEMA,
+    TrafficGenerator,
+    TrafficRecords,
+    UNSWNB15_SCHEMA,
+    load_nslkdd,
+    load_unswnb15,
+)
+
+
+class TestDifficultyProfile:
+    def test_defaults_are_valid(self):
+        DifficultyProfile()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"separation": 0.0},
+            {"family_spread": -1.0},
+            {"latent_rank": 0},
+            {"ambiguity": 1.0},
+            {"categorical_noise": 1.0},
+            {"categorical_concentration": 0.0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            DifficultyProfile(**kwargs)
+
+
+class TestTrafficGenerator:
+    def test_sample_counts_and_schema(self):
+        generator = TrafficGenerator(NSLKDD_SCHEMA, seed=0)
+        records = generator.sample(500, seed=1)
+        assert len(records) == 500
+        assert records.schema is NSLKDD_SCHEMA
+        assert records.numeric.shape == (500, 38)
+        assert set(records.categorical) == {"protocol_type", "service", "flag"}
+
+    def test_all_classes_present(self):
+        generator = TrafficGenerator(UNSWNB15_SCHEMA, seed=0)
+        records = generator.sample(400, seed=2)
+        counts = records.class_counts()
+        assert all(count > 0 for count in counts.values())
+
+    def test_class_priors_approximately_respected(self):
+        generator = TrafficGenerator(NSLKDD_SCHEMA, seed=0)
+        records = generator.sample(6000, seed=3)
+        counts = records.class_counts()
+        assert counts["normal"] / len(records) == pytest.approx(0.52, abs=0.05)
+        assert counts["dos"] / len(records) == pytest.approx(0.36, abs=0.05)
+
+    def test_deterministic_given_seed(self):
+        first = TrafficGenerator(NSLKDD_SCHEMA, seed=7).sample(100, seed=9)
+        second = TrafficGenerator(NSLKDD_SCHEMA, seed=7).sample(100, seed=9)
+        assert np.allclose(first.numeric, second.numeric)
+        assert np.array_equal(first.labels, second.labels)
+
+    def test_different_seeds_differ(self):
+        generator = TrafficGenerator(NSLKDD_SCHEMA, seed=7)
+        assert not np.allclose(
+            generator.sample(100, seed=1).numeric, generator.sample(100, seed=2).numeric
+        )
+
+    def test_sample_class_single_label(self):
+        generator = TrafficGenerator(NSLKDD_SCHEMA, seed=0)
+        records = generator.sample_class("dos", 50)
+        assert set(records.labels) == {"dos"}
+
+    def test_sample_class_unknown(self):
+        generator = TrafficGenerator(NSLKDD_SCHEMA, seed=0)
+        with pytest.raises(ValueError):
+            generator.sample_class("ransomware", 10)
+
+    def test_sample_rejects_nonpositive(self):
+        generator = TrafficGenerator(NSLKDD_SCHEMA, seed=0)
+        with pytest.raises(ValueError):
+            generator.sample(0)
+
+    def test_too_few_records_for_classes(self):
+        generator = TrafficGenerator(UNSWNB15_SCHEMA, seed=0)
+        with pytest.raises(ValueError):
+            generator.sample(3)
+
+    def test_lognormal_features_are_positive(self):
+        generator = TrafficGenerator(NSLKDD_SCHEMA, seed=0)
+        records = generator.sample(300, seed=0)
+        lognormal_columns = [
+            index
+            for index, feature in enumerate(NSLKDD_SCHEMA.numeric_features)
+            if feature.distribution == "lognormal"
+        ]
+        assert (records.numeric[:, lognormal_columns] > 0).all()
+
+    def test_attack_families_cluster_between_normal_and_each_other(self):
+        """The structural property behind the UNSW-NB15 calibration.
+
+        Attack families must be closer to each other than to normal traffic
+        when family_spread < separation.
+        """
+        profile = DifficultyProfile(separation=3.0, family_spread=0.5, ambiguity=0.0)
+        generator = TrafficGenerator(UNSWNB15_SCHEMA, profile, seed=0)
+        means = {
+            name: generator.sample_class(name, 200, np.random.default_rng(1)).numeric.mean(axis=0)
+            for name in ("normal", "dos", "exploits")
+        }
+        attack_distance = np.linalg.norm(means["dos"] - means["exploits"])
+        normal_distance = np.linalg.norm(means["dos"] - means["normal"])
+        assert attack_distance < normal_distance
+
+    def test_custom_class_priors(self):
+        generator = TrafficGenerator(
+            NSLKDD_SCHEMA,
+            seed=0,
+            class_priors={"normal": 5, "dos": 1, "probe": 1, "r2l": 1, "u2r": 1},
+        )
+        records = generator.sample(900, seed=0)
+        counts = records.class_counts()
+        assert counts["normal"] > counts["dos"]
+
+    def test_missing_class_prior_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficGenerator(NSLKDD_SCHEMA, seed=0, class_priors={"normal": 1.0})
+
+
+class TestLoaders:
+    def test_load_nslkdd_shape(self):
+        records = load_nslkdd(n_records=200, seed=0)
+        assert len(records) == 200
+        assert records.schema.name == "nsl-kdd"
+
+    def test_load_unswnb15_shape(self):
+        records = load_unswnb15(n_records=200, seed=0)
+        assert len(records) == 200
+        assert records.schema.name == "unsw-nb15"
+
+    def test_loaders_are_reproducible(self):
+        assert np.allclose(
+            load_nslkdd(n_records=100, seed=5).numeric,
+            load_nslkdd(n_records=100, seed=5).numeric,
+        )
+
+
+class TestTrafficRecords:
+    @pytest.fixture()
+    def records(self):
+        return load_nslkdd(n_records=300, seed=1)
+
+    def test_binary_labels_match_normal_class(self, records):
+        binary = records.binary_labels
+        assert set(np.unique(binary)) <= {0, 1}
+        assert (binary == 0).sum() == records.class_counts()["normal"]
+
+    def test_class_indices_align_with_schema_order(self, records):
+        indices = records.class_indices
+        classes = records.schema.classes
+        for position in range(20):
+            assert classes[indices[position]] == records.labels[position]
+
+    def test_subset(self, records):
+        subset = records.subset([0, 1, 2])
+        assert len(subset) == 3
+        assert np.array_equal(subset.labels, records.labels[:3])
+
+    def test_shuffled_preserves_multiset(self, records):
+        shuffled = records.shuffled(np.random.default_rng(0))
+        assert sorted(shuffled.labels) == sorted(records.labels)
+
+    def test_concatenate(self, records):
+        combined = TrafficRecords.concatenate([records.subset(range(10)), records.subset(range(10, 30))])
+        assert len(combined) == 30
+
+    def test_concatenate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficRecords.concatenate([])
+
+    def test_train_test_split_fractions(self, records):
+        train, test = records.train_test_split(0.25, np.random.default_rng(0))
+        assert len(test) == 75
+        assert len(train) == 225
+
+    def test_train_test_split_invalid_fraction(self, records):
+        with pytest.raises(ValueError):
+            records.train_test_split(1.5, np.random.default_rng(0))
+
+    def test_column_access(self, records):
+        assert records.column("duration").shape == (300,)
+        assert records.column("protocol_type").shape == (300,)
+        with pytest.raises(KeyError):
+            records.column("nonexistent")
+
+    def test_validation_rejects_wrong_numeric_width(self):
+        with pytest.raises(ValueError):
+            TrafficRecords(
+                schema=NSLKDD_SCHEMA,
+                numeric=np.zeros((5, 3)),
+                categorical={
+                    "protocol_type": np.array(["tcp"] * 5, dtype=object),
+                    "service": np.array(["http"] * 5, dtype=object),
+                    "flag": np.array(["SF"] * 5, dtype=object),
+                },
+                labels=np.array(["normal"] * 5, dtype=object),
+            )
+
+    def test_validation_rejects_unknown_labels(self):
+        with pytest.raises(ValueError):
+            TrafficRecords(
+                schema=NSLKDD_SCHEMA,
+                numeric=np.zeros((2, 38)),
+                categorical={
+                    "protocol_type": np.array(["tcp", "udp"], dtype=object),
+                    "service": np.array(["http", "http"], dtype=object),
+                    "flag": np.array(["SF", "SF"], dtype=object),
+                },
+                labels=np.array(["normal", "zero-day"], dtype=object),
+            )
+
+    def test_validation_rejects_missing_categorical(self):
+        with pytest.raises(ValueError):
+            TrafficRecords(
+                schema=NSLKDD_SCHEMA,
+                numeric=np.zeros((1, 38)),
+                categorical={"protocol_type": np.array(["tcp"], dtype=object)},
+                labels=np.array(["normal"], dtype=object),
+            )
+
+    def test_repr(self, records):
+        assert "nsl-kdd" in repr(records)

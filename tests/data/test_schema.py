@@ -1,0 +1,119 @@
+"""Tests for the dataset schemas: structural fidelity to the real corpora."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import (
+    NSLKDD_SCHEMA,
+    UNSWNB15_SCHEMA,
+    CategoricalFeature,
+    DatasetSchema,
+    NumericFeature,
+    get_schema,
+)
+
+
+class TestNSLKDDSchema:
+    def test_raw_feature_count_is_41(self):
+        assert NSLKDD_SCHEMA.num_raw_features == 41
+
+    def test_encoded_feature_count_matches_paper_input_shape(self):
+        # Section V-C: the NSL-KDD input shape is (1, 121).
+        assert NSLKDD_SCHEMA.num_encoded_features == 121
+
+    def test_five_classes(self):
+        assert set(NSLKDD_SCHEMA.classes) == {"normal", "dos", "probe", "r2l", "u2r"}
+
+    def test_class_priors_sum_to_one(self):
+        assert sum(NSLKDD_SCHEMA.class_priors.values()) == pytest.approx(1.0)
+
+    def test_paper_record_count(self):
+        assert NSLKDD_SCHEMA.total_records == 148_516
+
+    def test_u2r_is_rarest(self):
+        priors = NSLKDD_SCHEMA.class_priors
+        assert priors["u2r"] == min(priors.values())
+
+    def test_categorical_columns(self):
+        assert NSLKDD_SCHEMA.categorical_names == ["protocol_type", "service", "flag"]
+
+    def test_protocol_cardinality(self):
+        protocol = NSLKDD_SCHEMA.categorical_features[0]
+        assert protocol.cardinality == 3
+        assert set(protocol.values) == {"tcp", "udp", "icmp"}
+
+    def test_attack_classes_exclude_normal(self):
+        assert "normal" not in NSLKDD_SCHEMA.attack_classes
+        assert len(NSLKDD_SCHEMA.attack_classes) == 4
+
+
+class TestUNSWNB15Schema:
+    def test_raw_feature_count_is_42(self):
+        assert UNSWNB15_SCHEMA.num_raw_features == 42
+
+    def test_encoded_feature_count_matches_paper_input_shape(self):
+        # Section V-C: the UNSW-NB15 input shape is (1, 196).
+        assert UNSWNB15_SCHEMA.num_encoded_features == 196
+
+    def test_ten_classes(self):
+        assert len(UNSWNB15_SCHEMA.classes) == 10
+        assert "worms" in UNSWNB15_SCHEMA.classes
+        assert "normal" in UNSWNB15_SCHEMA.classes
+
+    def test_class_priors_sum_to_one(self):
+        assert sum(UNSWNB15_SCHEMA.class_priors.values()) == pytest.approx(1.0)
+
+    def test_paper_record_count(self):
+        assert UNSWNB15_SCHEMA.total_records == 257_673
+
+    def test_worms_is_rarest(self):
+        priors = UNSWNB15_SCHEMA.class_priors
+        assert priors["worms"] == min(priors.values())
+
+    def test_categorical_columns(self):
+        assert UNSWNB15_SCHEMA.categorical_names == ["proto", "service", "state"]
+
+    def test_unique_category_values(self):
+        for feature in UNSWNB15_SCHEMA.categorical_features:
+            assert len(set(feature.values)) == feature.cardinality
+
+
+class TestSchemaValidation:
+    def test_get_schema_aliases(self):
+        assert get_schema("NSL-KDD") is NSLKDD_SCHEMA
+        assert get_schema("nslkdd") is NSLKDD_SCHEMA
+        assert get_schema("unsw_nb15") is UNSWNB15_SCHEMA
+
+    def test_get_schema_unknown(self):
+        with pytest.raises(ValueError):
+            get_schema("kdd99")
+
+    def test_priors_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            DatasetSchema(
+                name="broken",
+                numeric_features=(NumericFeature("x"),),
+                categorical_features=(CategoricalFeature("c", ("a", "b")),),
+                classes=("normal", "dos"),
+                class_priors={"normal": 0.5, "dos": 0.2},
+            )
+
+    def test_normal_class_must_exist(self):
+        with pytest.raises(ValueError):
+            DatasetSchema(
+                name="broken",
+                numeric_features=(NumericFeature("x"),),
+                categorical_features=(),
+                classes=("dos",),
+                class_priors={"dos": 1.0},
+            )
+
+    def test_missing_prior_rejected(self):
+        with pytest.raises(ValueError):
+            DatasetSchema(
+                name="broken",
+                numeric_features=(NumericFeature("x"),),
+                categorical_features=(),
+                classes=("normal", "dos"),
+                class_priors={"normal": 1.0},
+            )

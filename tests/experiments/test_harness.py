@@ -1,0 +1,202 @@
+"""Tests for the experiment harness at smoke scale (tiny workloads).
+
+These verify the plumbing — the right networks are trained, the right rows and
+curves are produced, caching works — not the paper's quantitative claims
+(those are the benchmarks' job at the larger ``bench`` scale).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExperimentScale, get_scale
+from repro.experiments import (
+    EXPERIMENTS,
+    ablate_dropout,
+    ablate_optimizer,
+    ablate_shortcut_placement,
+    clear_study_cache,
+    figure2,
+    figure5,
+    run_experiment,
+    run_four_network_study,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from repro.experiments.results import CurveSet, ResultTable
+
+#: A deliberately tiny scale so every harness path runs in a few seconds.
+TINY_SCALE = ExperimentScale(
+    name="tiny", n_records=260, epochs=2, batch_size=64, n_splits=3,
+    blocks_per_network=0.2,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_study_cache()
+    yield
+    clear_study_cache()
+
+
+class TestFourNetworkStudy:
+    def test_trains_all_four_networks(self):
+        study = run_four_network_study("nsl-kdd", scale=TINY_SCALE, seed=0)
+        assert set(study.results) == {"plain-21", "residual-21", "plain-41", "residual-41"}
+        assert set(study.train_loss) == set(study.results)
+        assert all(len(v) == TINY_SCALE.epochs for v in study.train_loss.values())
+        assert all(len(v) == TINY_SCALE.epochs for v in study.test_loss.values())
+
+    def test_epochs_axis(self):
+        study = run_four_network_study("nsl-kdd", scale=TINY_SCALE, seed=0)
+        assert study.epochs() == list(range(1, TINY_SCALE.epochs + 1))
+
+    def test_cache_returns_same_object(self):
+        first = run_four_network_study("nsl-kdd", scale=TINY_SCALE, seed=0)
+        second = run_four_network_study("nsl-kdd", scale=TINY_SCALE, seed=0)
+        assert first is second
+
+    def test_cache_bypass(self):
+        first = run_four_network_study("nsl-kdd", scale=TINY_SCALE, seed=0)
+        second = run_four_network_study("nsl-kdd", scale=TINY_SCALE, seed=0, use_cache=False)
+        assert first is not second
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            run_four_network_study("cicids", scale=TINY_SCALE)
+
+    def test_reports_are_consistent_with_test_split_size(self):
+        study = run_four_network_study("nsl-kdd", scale=TINY_SCALE, seed=0)
+        expected_test = round(TINY_SCALE.n_records / TINY_SCALE.n_splits)
+        for result in study.results.values():
+            assert result.report.total == pytest.approx(expected_test, abs=3)
+
+
+class TestTables:
+    def test_table1_all_rows_match_paper(self):
+        table = table1()
+        assert isinstance(table, ResultTable)
+        assert len(table.rows) == 7
+        assert all(row["matches_paper"] for row in table.rows)
+
+    def test_table2_rows_for_both_datasets(self):
+        table = table2(scale=TINY_SCALE)
+        assert len(table.rows) == 8  # 4 networks x 2 datasets
+        datasets = {row["dataset"] for row in table.rows}
+        assert datasets == {"nsl-kdd", "unsw-nb15"}
+        for row in table.rows:
+            assert row["tp"] >= 0 and row["fp"] >= 0
+
+    def test_table3_and_table4_have_four_networks(self):
+        for builder in (table3, table4):
+            table = builder(scale=TINY_SCALE)
+            assert {row["model"] for row in table.rows} == {
+                "plain-21", "residual-21", "plain-41", "residual-41",
+            }
+            for row in table.rows:
+                assert 0.0 <= row["dr_percent"] <= 100.0
+                assert 0.0 <= row["acc_percent"] <= 100.0
+                assert 0.0 <= row["far_percent"] <= 100.0
+
+    def test_table3_reuses_cached_study(self):
+        study = run_four_network_study("nsl-kdd", scale=TINY_SCALE, seed=0)
+        table = table3(scale=TINY_SCALE)
+        expected = study.results["residual-41"].as_row()
+        row = table.row_for("residual-41")
+        assert row["acc_percent"] == pytest.approx(expected["acc_percent"])
+
+    def test_table5_subset_of_models(self):
+        table = table5(
+            scale=TINY_SCALE,
+            include_models=["adaboost", "mlp", "pelican"],
+        )
+        assert {row["model"] for row in table.rows} == {"adaboost", "mlp", "pelican"}
+        assert all(row["seconds"] >= 0 for row in table.rows)
+
+    def test_table5_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            table5(scale=TINY_SCALE, include_models=["quantum-ids"])
+
+
+class TestFigures:
+    def test_figure2_depth_sweep(self):
+        result = figure2(
+            dataset="unsw-nb15", scale=TINY_SCALE, block_counts=[1, 2], seed=0
+        )
+        assert result.parameter_layers == [5, 9]
+        assert len(result.training_accuracy) == 2
+        assert len(result.testing_accuracy) == 2
+        curves = result.curves()
+        assert isinstance(curves, CurveSet)
+        assert "training accuracy" in curves.series
+
+    def test_figure2_degradation_predicate(self):
+        from repro.experiments.figures import Figure2Result
+
+        degraded = Figure2Result(
+            dataset="x", parameter_layers=[5, 9], training_accuracy=[0.8, 0.7],
+            testing_accuracy=[0.8, 0.6],
+        )
+        assert degraded.degradation_observed()
+        improving = Figure2Result(
+            dataset="x", parameter_layers=[5, 9], training_accuracy=[0.7, 0.8],
+            testing_accuracy=[0.6, 0.8],
+        )
+        assert not improving.degradation_observed()
+
+    def test_figure5_curves(self):
+        curves = figure5(dataset="nsl-kdd", scale=TINY_SCALE, seed=0)
+        assert set(curves) == {"train", "test"}
+        for curve_set in curves.values():
+            assert set(curve_set.series) == {
+                "plain-21", "residual-21", "plain-41", "residual-41",
+            }
+            assert len(curve_set.x_values) == TINY_SCALE.epochs
+            rendered = curve_set.render()
+            assert "final" in rendered
+
+
+class TestAblations:
+    def test_shortcut_ablation_rows(self):
+        table = ablate_shortcut_placement(
+            dataset="nsl-kdd", scale=TINY_SCALE, num_blocks=1, seed=0
+        )
+        assert {row["model"] for row in table.rows} == {
+            "shortcut-from-bn", "shortcut-from-input",
+        }
+
+    def test_optimizer_ablation_rows(self):
+        table = ablate_optimizer(
+            dataset="nsl-kdd", scale=TINY_SCALE, optimizers=("rmsprop", "sgd"),
+            num_blocks=1, seed=0,
+        )
+        assert {row["model"] for row in table.rows} == {"rmsprop", "sgd"}
+
+    def test_dropout_ablation_rows(self):
+        table = ablate_dropout(
+            dataset="nsl-kdd", scale=TINY_SCALE, rates=(0.0, 0.6), num_blocks=1, seed=0
+        )
+        assert {row["model"] for row in table.rows} == {"dropout-0.0", "dropout-0.6"}
+
+
+class TestRunner:
+    def test_registry_covers_all_paper_artifacts(self):
+        assert {"table1", "table2", "table3", "table4", "table5", "fig2",
+                "fig5-unsw", "fig5-nslkdd"} <= set(EXPERIMENTS)
+
+    def test_run_experiment_table1(self):
+        result = run_experiment("table1", scale=TINY_SCALE)
+        assert isinstance(result, ResultTable)
+
+    def test_run_experiment_unknown(self):
+        with pytest.raises(ValueError):
+            run_experiment("table99", scale=TINY_SCALE)
+
+    def test_runner_main_smoke(self, capsys):
+        from repro.experiments.runner import main
+
+        exit_code = main(["table1", "--scale", "smoke"])
+        assert exit_code == 0
+        assert "Table I" in capsys.readouterr().out

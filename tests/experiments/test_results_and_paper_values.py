@@ -1,0 +1,138 @@
+"""Tests for the result containers, ASCII rendering and transcribed paper values."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.paper_values import (
+    FIG5_FINAL_LOSSES,
+    FOUR_NETWORKS,
+    TABLE1_SETTINGS,
+    TABLE2_TP_FP,
+    TABLE3_NSLKDD,
+    TABLE4_UNSWNB15,
+    TABLE5_COMPARISON,
+    paper_table_rows,
+)
+from repro.experiments.results import CurveSet, ResultTable, ascii_plot
+
+
+class TestPaperValues:
+    def test_four_networks_listed(self):
+        assert FOUR_NETWORKS == ["plain-21", "residual-21", "plain-41", "residual-41"]
+
+    def test_table2_covers_both_datasets_and_all_networks(self):
+        for dataset in ("nsl-kdd", "unsw-nb15"):
+            assert set(TABLE2_TP_FP[dataset]) == set(FOUR_NETWORKS)
+
+    def test_table3_table4_metrics_present(self):
+        for table in (TABLE3_NSLKDD, TABLE4_UNSWNB15):
+            assert set(table) == set(FOUR_NETWORKS)
+            for metrics in table.values():
+                assert set(metrics) == {"dr", "acc", "far"}
+
+    def test_pelican_wins_table4_in_paper(self):
+        accuracies = {name: row["acc"] for name, row in TABLE4_UNSWNB15.items()}
+        assert max(accuracies, key=accuracies.get) == "residual-41"
+        fars = {name: row["far"] for name, row in TABLE4_UNSWNB15.items()}
+        assert min(fars, key=fars.get) == "residual-41"
+
+    def test_table5_has_nine_models_and_pelican_is_best(self):
+        assert len(TABLE5_COMPARISON) == 9
+        accuracies = {name: row["acc"] for name, row in TABLE5_COMPARISON.items()}
+        assert max(accuracies, key=accuracies.get) == "pelican"
+        assert min(accuracies, key=accuracies.get) == "adaboost"
+
+    def test_table5_matches_table4_pelican_row(self):
+        assert TABLE5_COMPARISON["pelican"] == TABLE4_UNSWNB15["residual-41"]
+
+    def test_fig5_residual_beats_plain_in_paper(self):
+        for dataset, portions in FIG5_FINAL_LOSSES.items():
+            for portion, losses in portions.items():
+                assert losses["residual-41"] < losses["plain-21"]
+                assert losses["residual-21"] < losses["plain-21"]
+                assert losses["plain-41"] > losses["plain-21"]
+
+    def test_table1_matches_paper_text(self):
+        assert TABLE1_SETTINGS["unsw-nb15"]["filters"] == 196
+        assert TABLE1_SETTINGS["nsl-kdd"]["filters"] == 121
+        assert TABLE1_SETTINGS["unsw-nb15"]["epochs"] == 100
+        assert TABLE1_SETTINGS["nsl-kdd"]["epochs"] == 50
+
+    def test_paper_table_rows_flattening(self):
+        rows = paper_table_rows(TABLE3_NSLKDD)
+        assert len(rows) == 4
+        assert {"model", "dr", "acc", "far"} <= set(rows[0])
+
+
+class TestResultTable:
+    def _table(self):
+        table = ResultTable(
+            title="demo", columns=["model", "acc_percent"],
+            paper_rows={"m1": {"acc": 90.0}},
+        )
+        table.add_row(model="m1", acc_percent=88.5)
+        table.add_row(model="m2", acc_percent=79.25)
+        return table
+
+    def test_row_lookup(self):
+        table = self._table()
+        assert table.row_for("m1")["acc_percent"] == pytest.approx(88.5)
+        with pytest.raises(KeyError):
+            table.row_for("missing")
+
+    def test_column_values(self):
+        assert self._table().column_values("acc_percent") == [88.5, 79.25]
+
+    def test_render_contains_rows_and_paper_values(self):
+        rendered = self._table().render()
+        assert "demo" in rendered
+        assert "88.50" in rendered
+        assert "Paper-reported values" in rendered
+        assert "m1" in rendered
+
+    def test_notes_rendered(self):
+        table = self._table()
+        table.notes.append("scaled-down run")
+        assert "note: scaled-down run" in table.render()
+
+    def test_to_json_roundtrip(self):
+        payload = json.loads(self._table().to_json())
+        assert payload["title"] == "demo"
+        assert len(payload["rows"]) == 2
+
+    def test_str_equals_render(self):
+        table = self._table()
+        assert str(table) == table.render()
+
+
+class TestCurveSet:
+    def _curves(self):
+        curves = CurveSet(title="losses", x_label="epoch", y_label="loss",
+                          x_values=[1.0, 2.0, 3.0])
+        curves.add_series("plain", [0.9, 0.8, 0.7])
+        curves.add_series("residual", [0.8, 0.5, 0.3])
+        return curves
+
+    def test_final_values(self):
+        finals = self._curves().final_values()
+        assert finals == {"plain": 0.7, "residual": 0.3}
+
+    def test_length_mismatch_rejected(self):
+        curves = self._curves()
+        with pytest.raises(ValueError):
+            curves.add_series("broken", [1.0])
+
+    def test_render_contains_legend_and_range(self):
+        rendered = self._curves().render(width=40, height=8)
+        assert "plain" in rendered
+        assert "y-range" in rendered
+        assert "epoch" in rendered
+
+    def test_ascii_plot_empty(self):
+        assert ascii_plot([], {}) == "(no data)"
+
+    def test_ascii_plot_constant_series(self):
+        rendered = ascii_plot([1, 2], {"flat": [1.0, 1.0]}, width=10, height=4)
+        assert "flat" in rendered

@@ -1,0 +1,159 @@
+"""Tests for the confusion-matrix utilities and the paper's ACC/DR/FAR metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    DetectionReport,
+    accuracy,
+    binarize_predictions,
+    binary_confusion_counts,
+    confusion_matrix,
+    detection_rate,
+    evaluate_detection,
+    f1_score,
+    false_alarm_rate,
+    per_class_report,
+    precision,
+)
+
+
+class TestConfusionMatrix:
+    def test_basic_matrix(self):
+        matrix = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        assert np.array_equal(matrix, [[1, 1], [0, 2]])
+
+    def test_explicit_num_classes(self):
+        matrix = confusion_matrix([0], [0], num_classes=3)
+        assert matrix.shape == (3, 3)
+        assert matrix.sum() == 1
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([0, 1], [0])
+
+    def test_negative_class_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([-1], [0])
+
+    def test_class_exceeding_num_classes_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([0], [5], num_classes=2)
+
+    def test_rows_are_true_classes(self):
+        matrix = confusion_matrix([2, 2, 2], [0, 1, 2], num_classes=3)
+        assert matrix[2].sum() == 3
+        assert matrix[:, 2].sum() == 1
+
+
+class TestBinaryCounts:
+    def test_counts(self):
+        counts = binary_confusion_counts([1, 1, 0, 0, 1], [1, 0, 0, 1, 1])
+        assert counts == {"tp": 2, "fn": 1, "tn": 1, "fp": 1}
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            binary_confusion_counts([0, 2], [0, 1])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            binary_confusion_counts([0, 1], [0])
+
+
+class TestScalarMetrics:
+    COUNTS = {"tp": 80, "fn": 20, "tn": 90, "fp": 10}
+
+    def test_accuracy_formula(self):
+        # Equation (3) of the paper.
+        assert accuracy(self.COUNTS) == pytest.approx((80 + 90) / 200)
+
+    def test_detection_rate_formula(self):
+        # Equation (4): DR = TP / (TP + FN).
+        assert detection_rate(self.COUNTS) == pytest.approx(0.8)
+
+    def test_false_alarm_rate_formula(self):
+        # Equation (5): FAR = FP / (FP + TN).
+        assert false_alarm_rate(self.COUNTS) == pytest.approx(0.1)
+
+    def test_precision_and_f1(self):
+        assert precision(self.COUNTS) == pytest.approx(80 / 90)
+        expected_f1 = 2 * (80 / 90) * 0.8 / ((80 / 90) + 0.8)
+        assert f1_score(self.COUNTS) == pytest.approx(expected_f1)
+
+    def test_zero_denominators_return_zero(self):
+        empty = {"tp": 0, "fn": 0, "tn": 0, "fp": 0}
+        assert accuracy(empty) == 0.0
+        assert detection_rate(empty) == 0.0
+        assert false_alarm_rate(empty) == 0.0
+        assert f1_score(empty) == 0.0
+
+
+class TestEvaluateDetection:
+    def test_perfect_detector(self):
+        true_classes = np.array([0, 0, 1, 2, 3])
+        report = evaluate_detection(true_classes, true_classes, normal_index=0)
+        assert report.detection_rate == 1.0
+        assert report.false_alarm_rate == 0.0
+        assert report.accuracy == 1.0
+        assert report.tp == 3
+        assert report.tn == 2
+
+    def test_attack_misclassified_as_other_attack_still_detected(self):
+        # DR binarises the prediction: predicting the wrong *attack family*
+        # still counts as a detection (consistent with Section V-B).
+        true_classes = np.array([1, 2])
+        predicted = np.array([2, 1])
+        report = evaluate_detection(true_classes, predicted, normal_index=0)
+        assert report.detection_rate == 1.0
+        assert report.fn == 0
+
+    def test_false_alarm_counted(self):
+        report = evaluate_detection(np.array([0, 0]), np.array([1, 0]), normal_index=0)
+        assert report.fp == 1
+        assert report.false_alarm_rate == 0.5
+
+    def test_binarize_predictions(self):
+        assert np.array_equal(
+            binarize_predictions(np.array([0, 1, 2, 0]), normal_index=0), [0, 1, 1, 0]
+        )
+
+    def test_report_string_contains_metrics(self):
+        report = evaluate_detection(np.array([0, 1]), np.array([0, 1]), normal_index=0)
+        assert "DR=" in str(report)
+        assert "FAR=" in str(report)
+
+    def test_as_dict_keys(self):
+        report = evaluate_detection(np.array([0, 1]), np.array([0, 1]), normal_index=0)
+        assert set(report.as_dict()) == {
+            "tp", "tn", "fp", "fn", "accuracy", "detection_rate",
+            "false_alarm_rate", "precision", "f1",
+        }
+
+    def test_merge_sums_counts(self):
+        first = evaluate_detection(np.array([0, 1]), np.array([0, 1]), normal_index=0)
+        second = evaluate_detection(np.array([0, 1]), np.array([1, 0]), normal_index=0)
+        merged = DetectionReport.merge([first, second])
+        assert merged.total == first.total + second.total
+        assert merged.tp == first.tp + second.tp
+        assert merged.fp == first.fp + second.fp
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DetectionReport.merge([])
+
+
+class TestPerClassReport:
+    def test_per_class_metrics(self):
+        true_classes = np.array([0, 0, 1, 1, 2])
+        predicted = np.array([0, 1, 1, 1, 2])
+        report = per_class_report(true_classes, predicted, ["normal", "dos", "probe"])
+        assert report["normal"]["recall"] == pytest.approx(0.5)
+        assert report["dos"]["recall"] == pytest.approx(1.0)
+        assert report["dos"]["precision"] == pytest.approx(2 / 3)
+        assert report["probe"]["f1"] == pytest.approx(1.0)
+        assert report["normal"]["support"] == 2
+
+    def test_absent_class_has_zero_support(self):
+        report = per_class_report(np.array([0]), np.array([0]), ["normal", "dos"])
+        assert report["dos"]["support"] == 0
+        assert report["dos"]["recall"] == 0.0

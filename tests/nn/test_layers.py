@@ -1,0 +1,296 @@
+"""Unit tests for the layer library (shapes, parameters, training/inference modes)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import layers as L
+from repro.nn.tensor import Tensor
+
+RNG = np.random.default_rng(7)
+
+
+class TestDense:
+    def test_output_shape(self):
+        layer = L.Dense(8)
+        out = layer(RNG.normal(size=(4, 5)))
+        assert out.shape == (4, 8)
+
+    def test_parameter_shapes(self):
+        layer = L.Dense(8)
+        layer(RNG.normal(size=(4, 5)))
+        kernel, bias = layer.parameters()
+        assert kernel.shape == (5, 8)
+        assert bias.shape == (8,)
+
+    def test_no_bias(self):
+        layer = L.Dense(3, use_bias=False)
+        layer(RNG.normal(size=(2, 4)))
+        assert len(layer.parameters()) == 1
+
+    def test_softmax_activation_rows_sum_to_one(self):
+        layer = L.Dense(5, activation="softmax")
+        out = layer(RNG.normal(size=(6, 3)))
+        assert np.allclose(out.data.sum(axis=1), 1.0)
+
+    def test_invalid_units(self):
+        with pytest.raises(ValueError):
+            L.Dense(0)
+
+    def test_count_params(self):
+        layer = L.Dense(10)
+        layer(RNG.normal(size=(1, 4)))
+        assert layer.count_params() == 4 * 10 + 10
+
+
+class TestActivationDropoutFlattenReshape:
+    def test_activation_layer(self):
+        layer = L.Activation("relu")
+        out = layer(np.array([[-1.0, 2.0]]))
+        assert np.allclose(out.data, [[0.0, 2.0]])
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError):
+            L.Activation("swishy")
+
+    def test_dropout_inactive_at_inference(self):
+        layer = L.Dropout(0.5)
+        x = np.ones((10, 10))
+        assert np.allclose(layer(x, training=False).data, 1.0)
+
+    def test_dropout_active_in_training(self):
+        layer = L.Dropout(0.5, seed=0)
+        out = layer(np.ones((50, 50)), training=True).data
+        assert (out == 0.0).any()
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ValueError):
+            L.Dropout(1.0)
+
+    def test_flatten(self):
+        out = L.Flatten()(RNG.normal(size=(3, 2, 4)))
+        assert out.shape == (3, 8)
+
+    def test_reshape(self):
+        out = L.Reshape((2, 4))(RNG.normal(size=(3, 8)))
+        assert out.shape == (3, 2, 4)
+
+    def test_reshape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            L.Reshape((3, 3))(RNG.normal(size=(2, 8)))
+
+
+class TestConv1D:
+    def test_same_padding_preserves_steps(self):
+        layer = L.Conv1D(16, 3, padding="same")
+        out = layer(RNG.normal(size=(2, 7, 4)))
+        assert out.shape == (2, 7, 16)
+
+    def test_valid_padding_shrinks_steps(self):
+        layer = L.Conv1D(8, 3, padding="valid")
+        out = layer(RNG.normal(size=(2, 7, 4)))
+        assert out.shape == (2, 5, 8)
+
+    def test_stride(self):
+        layer = L.Conv1D(8, 3, strides=2, padding="same")
+        out = layer(RNG.normal(size=(2, 8, 4)))
+        assert out.shape == (2, 4, 8)
+
+    def test_single_timestep_input(self):
+        # The paper's (1, features) inputs with kernel size 10.
+        layer = L.Conv1D(121, 10, padding="same")
+        out = layer(RNG.normal(size=(3, 1, 121)))
+        assert out.shape == (3, 1, 121)
+
+    def test_relu_activation_nonnegative(self):
+        layer = L.Conv1D(4, 3, activation="relu")
+        out = layer(RNG.normal(size=(2, 5, 3)))
+        assert (out.data >= 0).all()
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            L.Conv1D(4, 3)(RNG.normal(size=(2, 5)))
+
+    def test_invalid_padding(self):
+        with pytest.raises(ValueError):
+            L.Conv1D(4, 3, padding="reflect")
+
+    def test_parameter_count(self):
+        layer = L.Conv1D(6, 5)
+        layer(RNG.normal(size=(1, 4, 3)))
+        assert layer.count_params() == 5 * 3 * 6 + 6
+
+
+class TestPooling:
+    def test_maxpool_shape(self):
+        out = L.MaxPooling1D(2)(RNG.normal(size=(2, 6, 3)))
+        assert out.shape == (2, 3, 3)
+
+    def test_maxpool_values(self):
+        x = np.array([[[1.0], [5.0], [2.0], [4.0]]])
+        out = L.MaxPooling1D(2, padding="valid")(x)
+        assert np.allclose(out.data.reshape(-1), [5.0, 4.0])
+
+    def test_maxpool_single_step_same_padding(self):
+        out = L.MaxPooling1D(2, padding="same")(RNG.normal(size=(2, 1, 5)))
+        assert out.shape == (2, 1, 5)
+
+    def test_average_pooling_single_step_identity(self):
+        x = RNG.normal(size=(2, 1, 5))
+        out = L.AveragePooling1D(2)(x)
+        assert np.allclose(out.data, x)
+
+    def test_average_pooling_values(self):
+        x = np.array([[[2.0], [4.0], [6.0], [8.0]]])
+        out = L.AveragePooling1D(2)(x)
+        assert np.allclose(out.data.reshape(-1), [3.0, 7.0])
+
+    def test_global_average_pooling(self):
+        x = np.ones((2, 4, 3))
+        out = L.GlobalAveragePooling1D()(x)
+        assert out.shape == (2, 3)
+        assert np.allclose(out.data, 1.0)
+
+    def test_global_max_pooling(self):
+        x = RNG.normal(size=(2, 4, 3))
+        out = L.GlobalMaxPooling1D()(x)
+        assert np.allclose(out.data, x.max(axis=1))
+
+    def test_invalid_pool_size(self):
+        with pytest.raises(ValueError):
+            L.MaxPooling1D(0)
+
+
+class TestBatchNormalization:
+    def test_training_normalizes_batch(self):
+        layer = L.BatchNormalization()
+        x = RNG.normal(loc=5.0, scale=3.0, size=(64, 1, 8))
+        out = layer(x, training=True).data
+        assert np.abs(out.mean(axis=(0, 1))).max() < 1e-6
+        assert np.abs(out.std(axis=(0, 1)) - 1.0).max() < 1e-2
+
+    def test_moving_statistics_updated(self):
+        layer = L.BatchNormalization()
+        x = RNG.normal(loc=2.0, size=(32, 4))
+        layer(x, training=True)
+        assert np.abs(layer._buffers["moving_mean"] - 2.0).max() < 1.0
+
+    def test_inference_uses_moving_statistics(self):
+        layer = L.BatchNormalization()
+        x = RNG.normal(loc=3.0, scale=2.0, size=(256, 6))
+        for _ in range(20):
+            layer(x, training=True)
+        out = layer(x, training=False).data
+        assert np.abs(out.mean(axis=0)).max() < 0.2
+
+    def test_parameters_are_gamma_and_beta(self):
+        layer = L.BatchNormalization()
+        layer(RNG.normal(size=(4, 3)), training=True)
+        assert {p.shape for p in layer.parameters()} == {(3,)}
+        assert len(layer.parameters()) == 2
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            L.BatchNormalization(momentum=1.5)
+
+
+class TestRecurrent:
+    def test_gru_output_shape_last_state(self):
+        layer = L.GRU(12)
+        out = layer(RNG.normal(size=(3, 5, 7)))
+        assert out.shape == (3, 12)
+
+    def test_gru_return_sequences(self):
+        layer = L.GRU(12, return_sequences=True)
+        out = layer(RNG.normal(size=(3, 5, 7)))
+        assert out.shape == (3, 5, 12)
+
+    def test_gru_parameter_shapes(self):
+        layer = L.GRU(4)
+        layer(RNG.normal(size=(2, 3, 6)))
+        shapes = {p.name.split("/")[-1]: p.shape for p in layer.parameters()}
+        assert shapes["kernel"] == (6, 12)
+        assert shapes["recurrent_kernel"] == (4, 12)
+        assert shapes["bias"] == (12,)
+
+    def test_gru_single_timestep(self):
+        layer = L.GRU(196)
+        out = layer(RNG.normal(size=(2, 1, 196)))
+        assert out.shape == (2, 196)
+
+    def test_lstm_output_shape(self):
+        layer = L.LSTM(9)
+        out = layer(RNG.normal(size=(2, 4, 5)))
+        assert out.shape == (2, 9)
+
+    def test_lstm_parameter_shapes(self):
+        layer = L.LSTM(4)
+        layer(RNG.normal(size=(2, 3, 6)))
+        shapes = {p.name.split("/")[-1]: p.shape for p in layer.parameters()}
+        assert shapes["kernel"] == (6, 16)
+        assert shapes["recurrent_kernel"] == (4, 16)
+
+    def test_simple_rnn_shapes(self):
+        layer = L.SimpleRNN(8, return_sequences=True)
+        out = layer(RNG.normal(size=(2, 6, 3)))
+        assert out.shape == (2, 6, 8)
+
+    def test_recurrent_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            L.GRU(4)(RNG.normal(size=(3, 5)))
+
+    def test_invalid_units(self):
+        with pytest.raises(ValueError):
+            L.GRU(0)
+
+    def test_gru_gradients_flow_to_all_parameters(self):
+        layer = L.GRU(5)
+        out = layer(Tensor(RNG.normal(size=(2, 3, 4)), requires_grad=True))
+        out.sum().backward()
+        for parameter in layer.parameters():
+            assert parameter.grad is not None
+            assert np.isfinite(parameter.grad).all()
+
+
+class TestMergeLayers:
+    def test_add(self):
+        layer = L.Add()
+        a, b = np.ones((2, 3)), np.full((2, 3), 2.0)
+        assert np.allclose(layer([a, b]).data, 3.0)
+
+    def test_add_requires_matching_shapes(self):
+        with pytest.raises(ValueError):
+            L.Add()([np.ones((2, 3)), np.ones((2, 4))])
+
+    def test_add_requires_two_inputs(self):
+        with pytest.raises(ValueError):
+            L.Add()([np.ones((2, 3))])
+
+    def test_concatenate(self):
+        layer = L.Concatenate(axis=-1)
+        out = layer([np.ones((2, 3)), np.zeros((2, 2))])
+        assert out.shape == (2, 5)
+
+
+class TestLayerBase:
+    def test_unique_default_names(self):
+        first, second = L.Dense(3), L.Dense(3)
+        assert first.name != second.name
+
+    def test_get_set_weights_roundtrip(self):
+        layer = L.Dense(4, seed=0)
+        layer(RNG.normal(size=(2, 3)))
+        weights = layer.get_weights()
+        layer.set_weights([w * 0.0 for w in weights])
+        assert all(np.allclose(w, 0.0) for w in layer.get_weights())
+
+    def test_set_weights_shape_mismatch(self):
+        layer = L.Dense(4)
+        layer(RNG.normal(size=(2, 3)))
+        with pytest.raises(ValueError):
+            layer.set_weights([np.zeros((5, 5)), np.zeros(4)])
+
+    def test_non_trainable_layer_exposes_no_parameters(self):
+        layer = L.Dense(4)
+        layer(RNG.normal(size=(2, 3)))
+        layer.trainable = False
+        assert layer.parameters() == []

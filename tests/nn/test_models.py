@@ -1,0 +1,215 @@
+"""Tests for the Sequential model container: training loop, callbacks, inference."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn.callbacks import EarlyStopping, LearningRateScheduler
+
+
+def _toy_classification(n=200, features=6, seed=0):
+    """Linearly separable two-class problem."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, features))
+    labels = (X[:, 0] + X[:, 1] > 0).astype(int)
+    return X, np.eye(2)[labels], labels
+
+
+def _dense_model(seed=0):
+    model = nn.Sequential(
+        [nn.Dense(16, activation="relu", seed=seed), nn.Dense(2, activation="softmax", seed=seed)]
+    )
+    model.compile(optimizer=nn.Adam(0.01), loss="categorical_crossentropy", metrics=["accuracy"])
+    return model
+
+
+class TestSequentialBasics:
+    def test_add_rejects_non_layer(self):
+        model = nn.Sequential()
+        with pytest.raises(TypeError):
+            model.add("not-a-layer")
+
+    def test_layers_property(self):
+        model = nn.Sequential([nn.Dense(3), nn.Dense(2)])
+        assert len(model.layers) == 2
+
+    def test_forward_shape(self):
+        model = nn.Sequential([nn.Dense(4), nn.Dense(2, activation="softmax")])
+        out = model(np.random.default_rng(0).normal(size=(5, 3)))
+        assert out.shape == (5, 2)
+
+    def test_train_requires_compile(self):
+        model = nn.Sequential([nn.Dense(2)])
+        with pytest.raises(RuntimeError):
+            model.train_on_batch(np.ones((2, 3)), np.ones((2, 2)))
+
+    def test_evaluate_requires_compile(self):
+        model = nn.Sequential([nn.Dense(2)])
+        with pytest.raises(RuntimeError):
+            model.evaluate(np.ones((2, 3)), np.ones((2, 2)))
+
+    def test_summary_lists_layers_and_parameters(self):
+        model = _dense_model()
+        model(np.ones((1, 6)))
+        text = model.summary()
+        assert "Total trainable parameters" in text
+        assert str(model.count_params()) in text or f"{model.count_params():,d}" in text
+
+
+class TestTrainingLoop:
+    def test_loss_decreases(self):
+        X, Y, _ = _toy_classification()
+        model = _dense_model()
+        history = model.fit(X, Y, epochs=10, batch_size=32, verbose=0)
+        assert history.history["loss"][-1] < history.history["loss"][0]
+
+    def test_reaches_high_accuracy_on_separable_data(self):
+        X, Y, labels = _toy_classification(n=300)
+        model = _dense_model()
+        model.fit(X, Y, epochs=20, batch_size=32, verbose=0)
+        assert model.evaluate(X, Y)["accuracy"] > 0.9
+
+    def test_fit_validates_lengths(self):
+        model = _dense_model()
+        with pytest.raises(ValueError):
+            model.fit(np.ones((10, 3)), np.ones((8, 2)), epochs=1)
+
+    def test_fit_validates_epochs(self):
+        X, Y, _ = _toy_classification(n=20)
+        model = _dense_model()
+        with pytest.raises(ValueError):
+            model.fit(X, Y, epochs=0)
+
+    def test_validation_data_recorded(self):
+        X, Y, _ = _toy_classification(n=120)
+        model = _dense_model()
+        history = model.fit(
+            X[:100], Y[:100], epochs=3, batch_size=25,
+            validation_data=(X[100:], Y[100:]), verbose=0,
+        )
+        assert "val_loss" in history.history
+        assert "val_accuracy" in history.history
+        assert len(history.history["val_loss"]) == 3
+
+    def test_validation_split(self):
+        X, Y, _ = _toy_classification(n=100)
+        model = _dense_model()
+        history = model.fit(X, Y, epochs=2, batch_size=20, validation_split=0.2, verbose=0)
+        assert "val_loss" in history.history
+
+    def test_invalid_validation_split(self):
+        X, Y, _ = _toy_classification(n=30)
+        model = _dense_model()
+        with pytest.raises(ValueError):
+            model.fit(X, Y, epochs=1, validation_split=1.5)
+
+    def test_history_epoch_count(self):
+        X, Y, _ = _toy_classification(n=60)
+        model = _dense_model()
+        history = model.fit(X, Y, epochs=4, batch_size=30, verbose=0)
+        assert len(history.history["loss"]) == 4
+        assert history.epochs == [0, 1, 2, 3]
+
+    def test_train_on_batch_returns_logs(self):
+        X, Y, _ = _toy_classification(n=32)
+        model = _dense_model()
+        logs = model.train_on_batch(X, Y)
+        assert set(logs) == {"loss", "accuracy"}
+
+
+class TestInference:
+    def test_predict_shape_and_batching(self):
+        X, Y, _ = _toy_classification(n=70)
+        model = _dense_model()
+        model.fit(X, Y, epochs=1, batch_size=35, verbose=0)
+        predictions = model.predict(X, batch_size=16)
+        assert predictions.shape == (70, 2)
+        assert np.allclose(predictions.sum(axis=1), 1.0)
+
+    def test_predict_classes(self):
+        X, Y, labels = _toy_classification(n=80)
+        model = _dense_model()
+        model.fit(X, Y, epochs=15, batch_size=40, verbose=0)
+        classes = model.predict_classes(X)
+        assert classes.shape == (80,)
+        assert np.mean(classes == labels) > 0.85
+
+    def test_predict_on_empty_input(self):
+        model = _dense_model()
+        model(np.ones((1, 6)))
+        assert model.predict(np.empty((0, 6))).size == 0
+
+    def test_evaluate_returns_loss_and_metrics(self):
+        X, Y, _ = _toy_classification(n=50)
+        model = _dense_model()
+        model.fit(X, Y, epochs=2, batch_size=25, verbose=0)
+        logs = model.evaluate(X, Y)
+        assert set(logs) == {"loss", "accuracy"}
+        assert logs["loss"] >= 0.0
+
+
+class TestCallbacks:
+    def test_early_stopping_halts_training(self):
+        X, Y, _ = _toy_classification(n=60)
+        model = _dense_model()
+        stopper = EarlyStopping(monitor="loss", patience=1, min_delta=10.0)
+        history = model.fit(X, Y, epochs=50, batch_size=30, verbose=0, callbacks=[stopper])
+        assert len(history.history["loss"]) < 50
+
+    def test_early_stopping_restore_best_weights(self):
+        X, Y, _ = _toy_classification(n=60)
+        model = _dense_model()
+        stopper = EarlyStopping(
+            monitor="loss", patience=2, min_delta=100.0, restore_best_weights=True
+        )
+        model.fit(X, Y, epochs=6, batch_size=30, verbose=0, callbacks=[stopper])
+        assert stopper.best_weights is not None
+
+    def test_early_stopping_invalid_mode(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(mode="sideways")
+
+    def test_learning_rate_scheduler(self):
+        X, Y, _ = _toy_classification(n=40)
+        model = _dense_model()
+        scheduler = LearningRateScheduler(lambda epoch, lr: lr * 0.5)
+        model.fit(X, Y, epochs=3, batch_size=20, verbose=0, callbacks=[scheduler])
+        assert model.optimizer.learning_rate == pytest.approx(0.01 * 0.5**3)
+
+    def test_learning_rate_scheduler_rejects_nonpositive(self):
+        X, Y, _ = _toy_classification(n=40)
+        model = _dense_model()
+        scheduler = LearningRateScheduler(lambda epoch, lr: 0.0)
+        with pytest.raises(ValueError):
+            model.fit(X, Y, epochs=1, batch_size=20, verbose=0, callbacks=[scheduler])
+
+
+class TestWeightsRoundtrip:
+    def test_get_set_weights_preserves_predictions(self):
+        X, Y, _ = _toy_classification(n=50)
+        model = _dense_model(seed=1)
+        model.fit(X, Y, epochs=2, batch_size=25, verbose=0)
+        weights = model.get_weights()
+        reference = model.predict(X)
+
+        clone = _dense_model(seed=2)
+        clone(np.ones((1, 6)))  # build
+        clone.set_weights(weights)
+        assert np.allclose(clone.predict(X), reference)
+
+    def test_deep_model_with_conv_and_gru_trains(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(120, 1, 10))
+        labels = (X[:, 0, 0] > 0).astype(int)
+        Y = np.eye(2)[labels]
+        model = nn.Sequential([
+            nn.Conv1D(10, 3, activation="relu"),
+            nn.BatchNormalization(),
+            nn.GRU(10, return_sequences=True),
+            nn.GlobalAveragePooling1D(),
+            nn.Dense(2, activation="softmax"),
+        ])
+        model.compile(optimizer=nn.RMSprop(0.01), loss="categorical_crossentropy",
+                      metrics=["accuracy"])
+        history = model.fit(X, Y, epochs=6, batch_size=30, verbose=0)
+        assert history.history["loss"][-1] < history.history["loss"][0]

@@ -1,0 +1,83 @@
+"""Tests for model weight persistence (save_weights / load_weights)."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn.serialization import load_weights, save_weights
+
+
+def _model(seed=0):
+    model = nn.Sequential(
+        [nn.Dense(8, activation="relu", seed=seed), nn.Dense(3, activation="softmax", seed=seed)]
+    )
+    model.compile(optimizer=nn.Adam(0.01), loss="categorical_crossentropy")
+    return model
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_predictions(self, tmp_path):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(40, 5))
+        Y = np.eye(3)[rng.integers(0, 3, size=40)]
+        model = _model(seed=1)
+        model.fit(X, Y, epochs=2, batch_size=20, verbose=0)
+        reference = model.predict(X)
+
+        saved = save_weights(model, tmp_path / "detector")
+        assert saved.suffix == ".npz"
+        assert saved.exists()
+
+        clone = _model(seed=2)
+        clone(np.zeros((1, 5)))  # build
+        load_weights(clone, saved)
+        assert np.allclose(clone.predict(X), reference)
+
+    def test_load_accepts_path_without_suffix(self, tmp_path):
+        model = _model()
+        model(np.zeros((1, 4)))
+        save_weights(model, tmp_path / "weights")
+        clone = _model()
+        clone(np.zeros((1, 4)))
+        load_weights(clone, tmp_path / "weights")
+
+    def test_saving_unbuilt_model_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_weights(nn.Sequential([nn.Dense(4)]), tmp_path / "empty")
+
+    def test_loading_into_wrong_architecture_rejected(self, tmp_path):
+        model = _model()
+        model(np.zeros((1, 6)))
+        saved = save_weights(model, tmp_path / "m")
+
+        other = nn.Sequential([nn.Dense(2)])
+        other(np.zeros((1, 6)))
+        with pytest.raises(ValueError):
+            load_weights(other, saved)
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        model = _model()
+        model(np.zeros((1, 6)))
+        saved = save_weights(model, tmp_path / "m")
+
+        different_width = _model()
+        different_width(np.zeros((1, 7)))
+        with pytest.raises(ValueError):
+            load_weights(different_width, saved)
+
+    def test_residual_block_weights_roundtrip(self, tmp_path):
+        from repro.core import NetworkConfig, build_residual_network
+
+        config = NetworkConfig(
+            filters=10, kernel_size=3, recurrent_units=10, dropout_rate=0.2,
+            epochs=1, learning_rate=0.01, batch_size=8,
+        )
+        network = build_residual_network(2, 4, config, seed=0)
+        x = np.random.default_rng(1).normal(size=(5, 1, 10))
+        reference = network(x, training=False).data
+        saved = save_weights(network, tmp_path / "pelican")
+
+        clone = build_residual_network(2, 4, config, seed=9)
+        clone(x)  # build with different random init
+        load_weights(clone, saved)
+        assert np.allclose(clone(x, training=False).data, reference)

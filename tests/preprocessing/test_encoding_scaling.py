@@ -1,0 +1,178 @@
+"""Tests for one-hot encoding, label encoding and feature scaling."""
+
+import numpy as np
+import pytest
+
+from repro.preprocessing import (
+    LabelEncoder,
+    MinMaxScaler,
+    OneHotEncoder,
+    StandardScaler,
+    one_hot,
+)
+
+
+class TestOneHotFunction:
+    def test_basic(self):
+        encoded = one_hot(np.array([0, 2, 1]), 3)
+        assert np.allclose(encoded, [[1, 0, 0], [0, 0, 1], [0, 1, 0]])
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([0, 3]), 3)
+
+    def test_empty(self):
+        assert one_hot(np.array([], dtype=int), 4).shape == (0, 4)
+
+
+class TestOneHotEncoder:
+    def test_learned_vocabulary(self):
+        encoder = OneHotEncoder()
+        columns = {"proto": np.array(["tcp", "udp", "tcp"], dtype=object)}
+        encoded = encoder.fit_transform(columns)
+        assert encoded.shape == (3, 2)
+        assert np.allclose(encoded.sum(axis=1), 1.0)
+
+    def test_declared_vocabulary_fixes_width(self):
+        encoder = OneHotEncoder(categories={"proto": ["tcp", "udp", "icmp"]})
+        encoder.fit({"proto": np.array(["tcp"], dtype=object)})
+        encoded = encoder.transform({"proto": np.array(["udp", "udp"], dtype=object)})
+        assert encoded.shape == (2, 3)
+        assert encoder.encoded_width == 3
+
+    def test_unknown_value_ignored_by_default(self):
+        encoder = OneHotEncoder(categories={"proto": ["tcp", "udp"]})
+        encoder.fit({"proto": np.array(["tcp"], dtype=object)})
+        encoded = encoder.transform({"proto": np.array(["gre"], dtype=object)})
+        assert np.allclose(encoded, 0.0)
+
+    def test_unknown_value_error_mode(self):
+        encoder = OneHotEncoder(categories={"proto": ["tcp"]}, handle_unknown="error")
+        encoder.fit({"proto": np.array(["tcp"], dtype=object)})
+        with pytest.raises(ValueError):
+            encoder.transform({"proto": np.array(["gre"], dtype=object)})
+
+    def test_invalid_handle_unknown(self):
+        with pytest.raises(ValueError):
+            OneHotEncoder(handle_unknown="quietly")
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            OneHotEncoder().transform({"proto": np.array(["tcp"], dtype=object)})
+
+    def test_missing_column_rejected(self):
+        encoder = OneHotEncoder()
+        encoder.fit({"proto": np.array(["tcp"], dtype=object)})
+        with pytest.raises(ValueError):
+            encoder.transform({})
+
+    def test_feature_names(self):
+        encoder = OneHotEncoder(categories={"proto": ["tcp", "udp"]})
+        encoder.fit({"proto": np.array(["tcp"], dtype=object)})
+        assert encoder.feature_names == ["proto=tcp", "proto=udp"]
+
+    def test_multiple_columns_concatenated_in_order(self):
+        encoder = OneHotEncoder(
+            categories={"a": ["x", "y"], "b": ["p", "q", "r"]}
+        )
+        encoded = encoder.fit_transform(
+            {
+                "a": np.array(["x", "y"], dtype=object),
+                "b": np.array(["r", "p"], dtype=object),
+            }
+        )
+        assert encoded.shape == (2, 5)
+        assert np.allclose(encoded[0], [1, 0, 0, 0, 1])
+
+
+class TestLabelEncoder:
+    def test_fit_transform_roundtrip(self):
+        encoder = LabelEncoder()
+        labels = ["dos", "normal", "dos", "probe"]
+        encoded = encoder.fit_transform(labels)
+        assert encoded.dtype == np.int64
+        assert list(encoder.inverse_transform(encoded)) == labels
+
+    def test_declared_classes_preserve_order(self):
+        encoder = LabelEncoder(classes=["normal", "dos", "probe"])
+        assert list(encoder.transform(["dos", "normal"])) == [1, 0]
+
+    def test_unknown_label(self):
+        encoder = LabelEncoder(classes=["normal"])
+        with pytest.raises(ValueError):
+            encoder.transform(["worm"])
+
+    def test_inverse_out_of_range(self):
+        encoder = LabelEncoder(classes=["normal", "dos"])
+        with pytest.raises(ValueError):
+            encoder.inverse_transform([5])
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LabelEncoder().transform(["x"])
+
+    def test_num_classes(self):
+        assert LabelEncoder(classes=["a", "b", "c"]).num_classes == 3
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(loc=7.0, scale=3.0, size=(500, 4))
+        scaled = StandardScaler().fit_transform(data)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_not_divided_by_zero(self):
+        data = np.column_stack([np.ones(10), np.arange(10.0)])
+        scaled = StandardScaler().fit_transform(data)
+        assert np.all(np.isfinite(scaled))
+        assert np.allclose(scaled[:, 0], 0.0)
+
+    def test_inverse_transform_roundtrip(self):
+        data = np.random.default_rng(1).normal(size=(50, 3))
+        scaler = StandardScaler().fit(data)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(data)), data)
+
+    def test_transform_uses_training_statistics(self):
+        scaler = StandardScaler().fit(np.zeros((10, 2)) + 5.0)
+        transformed = scaler.transform(np.full((3, 2), 5.0))
+        assert np.allclose(transformed, 0.0)
+
+    def test_feature_count_mismatch(self):
+        scaler = StandardScaler().fit(np.ones((5, 3)))
+        with pytest.raises(ValueError):
+            scaler.transform(np.ones((5, 4)))
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.ones(5))
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+
+class TestMinMaxScaler:
+    def test_unit_range(self):
+        data = np.array([[0.0, 10.0], [5.0, 20.0], [10.0, 30.0]])
+        scaled = MinMaxScaler().fit_transform(data)
+        assert scaled.min() == pytest.approx(0.0)
+        assert scaled.max() == pytest.approx(1.0)
+
+    def test_custom_range(self):
+        data = np.array([[0.0], [1.0]])
+        scaled = MinMaxScaler(feature_range=(-1.0, 1.0)).fit_transform(data)
+        assert np.allclose(scaled.reshape(-1), [-1.0, 1.0])
+
+    def test_constant_column(self):
+        scaled = MinMaxScaler().fit_transform(np.full((4, 1), 3.0))
+        assert np.all(np.isfinite(scaled))
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler(feature_range=(1.0, 0.0))
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.ones((2, 2)))

@@ -1,0 +1,168 @@
+"""Tests for the cross-validation splitters and the end-to-end IDS pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.data import NSLKDD_SCHEMA, UNSWNB15_SCHEMA, load_nslkdd, load_unswnb15
+from repro.preprocessing import (
+    IDSPreprocessor,
+    KFold,
+    StratifiedKFold,
+    train_test_indices,
+)
+
+
+class TestKFold:
+    def test_folds_partition_indices(self):
+        splitter = KFold(n_splits=5, seed=0)
+        all_test = []
+        for train, test in splitter.split(103):
+            assert len(np.intersect1d(train, test)) == 0
+            all_test.extend(test.tolist())
+        assert sorted(all_test) == list(range(103))
+
+    def test_number_of_folds(self):
+        assert len(list(KFold(n_splits=10).split(100))) == 10
+
+    def test_paper_uses_ten_folds_nine_to_one_ratio(self):
+        # "With the k-fold validation ... we set k=10": train ≈ 9x test.
+        for train, test in KFold(n_splits=10, seed=1).split(1000):
+            assert len(train) == 900
+            assert len(test) == 100
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=10).split(5))
+
+    def test_invalid_n_splits(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+
+    def test_deterministic_given_seed(self):
+        first = [test.tolist() for _, test in KFold(n_splits=4, seed=3).split(40)]
+        second = [test.tolist() for _, test in KFold(n_splits=4, seed=3).split(40)]
+        assert first == second
+
+
+class TestStratifiedKFold:
+    def test_partition_and_stratification(self):
+        labels = np.array(["a"] * 60 + ["b"] * 30 + ["c"] * 10, dtype=object)
+        splitter = StratifiedKFold(n_splits=5, seed=0)
+        all_test = []
+        for train, test in splitter.split(labels):
+            assert len(np.intersect1d(train, test)) == 0
+            test_labels = labels[test]
+            # Proportions approximately preserved in every fold.
+            assert np.mean(test_labels == "a") == pytest.approx(0.6, abs=0.1)
+            all_test.extend(test.tolist())
+        assert sorted(all_test) == list(range(100))
+
+    def test_rare_class_spread_across_folds(self):
+        labels = np.array(["common"] * 95 + ["rare"] * 5, dtype=object)
+        folds_with_rare = 0
+        for _, test in StratifiedKFold(n_splits=5, seed=0).split(labels):
+            if (labels[test] == "rare").any():
+                folds_with_rare += 1
+        assert folds_with_rare == 5
+
+    def test_invalid_n_splits(self):
+        with pytest.raises(ValueError):
+            StratifiedKFold(n_splits=0)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(StratifiedKFold(n_splits=5).split(np.array(["a", "b"])))
+
+
+class TestTrainTestIndices:
+    def test_sizes(self):
+        train, test = train_test_indices(100, test_fraction=0.2, seed=0)
+        assert len(test) == 20
+        assert len(train) == 80
+        assert len(np.intersect1d(train, test)) == 0
+
+    def test_stratified_keeps_all_classes_in_test(self):
+        labels = np.array(["a"] * 90 + ["b"] * 10, dtype=object)
+        train, test = train_test_indices(100, test_fraction=0.2, seed=0, labels=labels)
+        assert (labels[test] == "b").any()
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_indices(10, test_fraction=0.0)
+
+    def test_labels_length_mismatch(self):
+        with pytest.raises(ValueError):
+            train_test_indices(10, labels=np.array(["a"] * 5))
+
+
+class TestIDSPreprocessor:
+    @pytest.fixture(scope="class")
+    def nslkdd_records(self):
+        return load_nslkdd(n_records=400, seed=11)
+
+    def test_num_features_match_paper(self):
+        assert IDSPreprocessor(NSLKDD_SCHEMA).num_features == 121
+        assert IDSPreprocessor(UNSWNB15_SCHEMA).num_features == 196
+
+    def test_fit_transform_shapes(self, nslkdd_records):
+        prepared = IDSPreprocessor(NSLKDD_SCHEMA).fit_transform(nslkdd_records)
+        assert prepared.inputs.shape == (400, 1, 121)
+        assert prepared.targets.shape == (400, 5)
+        assert prepared.flat_inputs.shape == (400, 121)
+        assert prepared.num_classes == 5
+        assert prepared.num_features == 121
+
+    def test_targets_are_one_hot(self, nslkdd_records):
+        prepared = IDSPreprocessor(NSLKDD_SCHEMA).fit_transform(nslkdd_records)
+        assert np.allclose(prepared.targets.sum(axis=1), 1.0)
+        assert set(np.unique(prepared.targets)) == {0.0, 1.0}
+
+    def test_binary_labels_match_class_indices(self, nslkdd_records):
+        prepared = IDSPreprocessor(NSLKDD_SCHEMA).fit_transform(nslkdd_records)
+        assert np.array_equal(
+            prepared.binary_labels, (prepared.class_indices != prepared.normal_index)
+        )
+
+    def test_numeric_columns_standardized(self, nslkdd_records):
+        prepared = IDSPreprocessor(NSLKDD_SCHEMA).fit_transform(nslkdd_records)
+        numeric_block = prepared.inputs[:, 0, :38]
+        assert np.abs(numeric_block.mean(axis=0)).max() < 1e-8
+        stds = numeric_block.std(axis=0)
+        assert np.allclose(stds[stds > 0], 1.0, atol=1e-8)
+
+    def test_transform_before_fit_rejected(self, nslkdd_records):
+        with pytest.raises(RuntimeError):
+            IDSPreprocessor(NSLKDD_SCHEMA).transform(nslkdd_records)
+
+    def test_holdout_split_fractions(self, nslkdd_records):
+        split = IDSPreprocessor(NSLKDD_SCHEMA).holdout_split(
+            nslkdd_records, test_fraction=0.25, seed=0
+        )
+        assert len(split.test) == pytest.approx(100, abs=5)
+        assert len(split.train) + len(split.test) == 400
+        assert split.num_features == 121
+
+    def test_holdout_no_scaling_leakage(self, nslkdd_records):
+        """The scaler must be fitted on the training portion only."""
+        preprocessor = IDSPreprocessor(NSLKDD_SCHEMA)
+        split = preprocessor.holdout_split(nslkdd_records, test_fraction=0.25, seed=0)
+        train_numeric = split.train.inputs[:, 0, :38]
+        assert np.abs(train_numeric.mean(axis=0)).max() < 1e-8
+        test_numeric = split.test.inputs[:, 0, :38]
+        # Test-set means are close to, but not exactly, zero.
+        assert np.abs(test_numeric.mean(axis=0)).max() > 1e-8
+
+    def test_kfold_splits_cover_all_records(self, nslkdd_records):
+        preprocessor = IDSPreprocessor(NSLKDD_SCHEMA)
+        total_test = 0
+        for split in preprocessor.kfold_splits(nslkdd_records, n_splits=4, seed=0):
+            total_test += len(split.test)
+            assert split.train.inputs.shape[2] == 121
+        assert total_test == len(nslkdd_records)
+
+    def test_unsw_pipeline_end_to_end(self):
+        records = load_unswnb15(n_records=300, seed=3)
+        prepared = IDSPreprocessor(UNSWNB15_SCHEMA).fit_transform(records)
+        assert prepared.inputs.shape == (300, 1, 196)
+        assert prepared.targets.shape == (300, 10)
+        assert prepared.class_names[prepared.normal_index] == "normal"
