@@ -1,0 +1,134 @@
+"""Serving throughput benchmark: graph path vs. the ``fast=True`` path.
+
+Measures, for each of the four Section V-C networks, a batch-256 forward
+pass on the tape (graph) path and on the graph-free inference path, asserts
+the fast path reproduces the graph-path probabilities (atol 1e-6) at a
+≥ 2x speedup, and then measures a :class:`repro.serving.DetectionService`
+end-to-end over a seeded flood scenario.  The numbers are written to
+``BENCH_serving.json`` at the repository root as the serving baseline that
+later scaling PRs (async workers, sharding) compare against.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from bench_utils import emit
+from repro.core import PelicanDetector, build_network, scaled_config
+from repro.core.pelican import PAPER_BLOCK_COUNTS
+from repro.data import NSLKDD_SCHEMA, TrafficStream, load_nslkdd, nslkdd_generator
+from repro.serving import DetectionService
+
+BATCH_SIZE = 256
+REPEATS = 3
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+
+def _best_time(function, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _measure_networks(scale, seed):
+    config = scaled_config("nsl-kdd", scale)
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(BATCH_SIZE, 1, config.filters))
+    rows = {}
+    for name, paper_blocks in PAPER_BLOCK_COUNTS.items():
+        network = build_network(
+            num_blocks=scale.scale_blocks(paper_blocks),
+            num_classes=len(NSLKDD_SCHEMA.classes),
+            config=config,
+            residual=name.startswith("residual"),
+            name=f"bench-{name}",
+            seed=seed,
+        )
+        graph_probabilities = network.predict(x)            # also builds the layers
+        fast_probabilities = network.predict(x, fast=True)
+        graph_time = _best_time(lambda: network.predict(x))
+        fast_time = _best_time(lambda: network.predict(x, fast=True))
+        rows[name] = {
+            "batch_size": BATCH_SIZE,
+            "graph_s": graph_time,
+            "fast_s": fast_time,
+            "speedup": graph_time / fast_time,
+            "fast_throughput_rps": BATCH_SIZE / fast_time,
+            "max_abs_diff": float(
+                np.abs(graph_probabilities - fast_probabilities).max()
+            ),
+        }
+    return rows
+
+
+def _measure_service(seed):
+    records = load_nslkdd(n_records=500, seed=seed)
+    detector = PelicanDetector(
+        NSLKDD_SCHEMA, num_blocks=1, epochs=2, batch_size=64,
+        dropout_rate=0.3, seed=seed,
+    )
+    detector.fit(records)
+    service = DetectionService(detector, max_batch_size=128, flush_interval=0.0)
+    stream = TrafficStream.flood_scenario(
+        nslkdd_generator(), batch_size=64, seed=seed
+    )
+    report = service.run_stream(stream)
+    return {
+        "records": report.records,
+        "batches": report.batches,
+        "throughput_rps": report.throughput,
+        "mean_latency_s": report.mean_latency,
+        "p95_latency_s": report.p95_latency,
+    }
+
+
+def _render(results) -> str:
+    lines = [
+        "Serving throughput (batch %d, best of %d)" % (BATCH_SIZE, REPEATS),
+        f"{'network':<14s} {'graph ms':>10s} {'fast ms':>10s} {'speedup':>9s} {'max diff':>10s}",
+    ]
+    for name, row in results["networks"].items():
+        lines.append(
+            f"{name:<14s} {row['graph_s'] * 1e3:>10.1f} {row['fast_s'] * 1e3:>10.1f} "
+            f"{row['speedup']:>8.1f}x {row['max_abs_diff']:>10.1e}"
+        )
+    service = results["service"]
+    lines.append(
+        "stream service: {:,.0f} rec/s over {} records "
+        "(p95 batch latency {:.1f} ms)".format(
+            service["throughput_rps"],
+            service["records"],
+            service["p95_latency_s"] * 1e3,
+        )
+    )
+    return "\n".join(lines)
+
+
+def test_serving_throughput(run_once, scale, seed, check_claims):
+    def experiment():
+        return {
+            "scale": scale.name,
+            "networks": _measure_networks(scale, seed),
+            "service": _measure_service(seed),
+        }
+
+    results = run_once(experiment)
+    emit(_render(results))
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+    for name, row in results["networks"].items():
+        assert row["max_abs_diff"] < 1e-6, (
+            f"{name}: fast path diverged from the graph path "
+            f"({row['max_abs_diff']:.2e})"
+        )
+    if check_claims:
+        for name, row in results["networks"].items():
+            assert row["speedup"] >= 2.0, (
+                f"{name}: fast path speedup {row['speedup']:.2f}x below the "
+                "2x serving target"
+            )

@@ -2,7 +2,10 @@
 
 Ensures ``src/`` is importable even when the package has not been installed
 (the offline environment lacks the ``wheel`` package needed by modern
-``pip install -e .``), and registers the shared random seed fixture.
+``pip install -e .``), registers the shared random seed fixture and the
+``slow`` marker.  Tests marked ``@pytest.mark.slow`` (the minutes-long
+end-to-end trainings) are deselected by default so the tier-1 command stays
+fast; run them with ``pytest --runslow``.
 """
 
 import sys
@@ -13,6 +16,31 @@ import pytest
 SRC_DIR = Path(__file__).resolve().parent / "src"
 if str(SRC_DIR) not in sys.path:
     sys.path.insert(0, str(SRC_DIR))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="also run tests marked @pytest.mark.slow (long end-to-end trainings)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: minutes-long end-to-end training runs, skipped unless --runslow is given",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: pass --runslow to run it")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture(autouse=True)

@@ -13,6 +13,8 @@ The package is organised as a layered system:
 * :mod:`repro.baselines` — classical ML baselines for the comparative study.
 * :mod:`repro.metrics` — ACC / detection-rate / false-alarm-rate metrics.
 * :mod:`repro.experiments` — the harness regenerating every table and figure.
+* :mod:`repro.serving` — the streaming detection service (micro-batching,
+  cached preprocessing, graph-free fast inference, rolling monitoring).
 """
 
 __version__ = "1.0.0"
@@ -25,5 +27,6 @@ __all__ = [
     "baselines",
     "metrics",
     "experiments",
+    "serving",
     "__version__",
 ]

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+import numpy as np
+
 from ..nn.layers import (
     GRU,
     Add,
@@ -110,6 +112,33 @@ class PlainBlock(Layer):
         )
 
     # ------------------------------------------------------------------ #
+    def build(self, input_shape: Tuple[int, ...]) -> None:
+        """Build every parameter sub-layer from the block input shape.
+
+        The internal shapes are fully determined by the input, so building
+        eagerly (instead of letting each sub-layer build inside its first
+        forward) makes ``count_params()`` and weight serialization stable
+        from build time on.  Weight values are unaffected: every layer draws
+        from its own generator created at construction.
+        """
+        if len(input_shape) != 3:
+            raise ValueError(
+                f"{type(self).__name__} expects (batch, steps, channels) inputs, "
+                f"got {input_shape}"
+            )
+        batch, steps, _ = input_shape
+        pooled_steps = max(int(np.ceil(steps / self.pooling.strides)), 1)
+        stages = (
+            (self.input_norm, input_shape),
+            (self.convolution, input_shape),
+            (self.recurrent_norm, (batch, pooled_steps, self.filters)),
+            (self.recurrent, (batch, pooled_steps, self.filters)),
+        )
+        for layer, shape in stages:
+            if not layer.built:
+                layer.build(shape)
+                layer.built = True
+
     def transform(self, inputs: Tensor, training: bool) -> Tuple[Tensor, Tensor]:
         """Run the block and also return the first BN output (the shortcut source)."""
         normalized = self.input_norm(inputs, training=training)
@@ -123,6 +152,21 @@ class PlainBlock(Layer):
 
     def call(self, inputs: Tensor, training: bool = False) -> Tensor:
         outputs, _ = self.transform(inputs, training)
+        return outputs
+
+    def fast_transform(self, inputs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Graph-free :meth:`transform` (inference semantics, raw ndarrays)."""
+        normalized = self.input_norm.fast_forward(inputs)
+        features = self.convolution.fast_forward(normalized)
+        features = self.pooling.fast_forward(features)
+        features = self.recurrent_norm.fast_forward(features)
+        features = self.recurrent.fast_forward(features)
+        features = self.reshape.fast_forward(features)
+        features = self.dropout.fast_forward(features)
+        return features, normalized
+
+    def fast_call(self, inputs: np.ndarray) -> np.ndarray:
+        outputs, _ = self.fast_transform(inputs)
         return outputs
 
     def parameter_layer_count(self) -> int:
@@ -167,6 +211,35 @@ class ResidualBlock(PlainBlock):
         self.merge = self.register(Add(name=f"{self.name}/add"))
         self._projection: Optional[Conv1D] = None
 
+    def build(self, input_shape: Tuple[int, ...]) -> None:
+        """Create the shortcut projection eagerly when the shapes demand one.
+
+        The projection used to be created lazily inside the first forward
+        pass, so a block that was serialized or ``count_params()``-ed before
+        that silently omitted it.  Building it here (the shortcut source
+        always has the block input's channel count) keeps parameter counts
+        and round-tripped weights stable from build time on.
+        """
+        super().build(input_shape)
+        channels = input_shape[-1]
+        if channels != self.recurrent_units:
+            projection = self._ensure_projection()
+            if not projection.built:
+                projection.build((input_shape[0], 1, channels))
+                projection.built = True
+
+    def _ensure_projection(self) -> Conv1D:
+        if self._projection is None:
+            self._projection = self.register(
+                Conv1D(
+                    filters=self.recurrent_units,
+                    kernel_size=1,
+                    padding="same",
+                    name=f"{self.name}/shortcut_proj",
+                )
+            )
+        return self._projection
+
     def _project_shortcut(self, shortcut: Tensor, training: bool) -> Tensor:
         """Match the shortcut's shape to the block output ``(batch, 1, units)``."""
         batch, steps, channels = shortcut.shape
@@ -175,16 +248,7 @@ class ResidualBlock(PlainBlock):
                 global_average_pool1d(shortcut), (batch, 1, channels)
             )
         if channels != self.recurrent_units:
-            if self._projection is None:
-                self._projection = self.register(
-                    Conv1D(
-                        filters=self.recurrent_units,
-                        kernel_size=1,
-                        padding="same",
-                        name=f"{self.name}/shortcut_proj",
-                    )
-                )
-            shortcut = self._projection(shortcut, training=training)
+            shortcut = self._ensure_projection()(shortcut, training=training)
         return shortcut
 
     def call(self, inputs: Tensor, training: bool = False) -> Tensor:
@@ -192,6 +256,16 @@ class ResidualBlock(PlainBlock):
         shortcut_source = normalized if self.shortcut_from == "bn" else inputs
         shortcut = self._project_shortcut(shortcut_source, training)
         return self.merge([outputs, shortcut], training=training)
+
+    def fast_call(self, inputs: np.ndarray) -> np.ndarray:
+        outputs, normalized = self.fast_transform(inputs)
+        shortcut = normalized if self.shortcut_from == "bn" else inputs
+        batch, steps, channels = shortcut.shape
+        if steps != 1:
+            shortcut = shortcut.mean(axis=1).reshape(batch, 1, channels)
+        if channels != self.recurrent_units:
+            shortcut = self._ensure_projection().fast_forward(shortcut)
+        return outputs + shortcut
 
     def parameter_layer_count(self) -> int:
         """Parameter layers contributed by this block (plus any projection)."""

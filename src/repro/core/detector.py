@@ -134,29 +134,34 @@ class PelicanDetector:
         self._require_fitted()
         return self.preprocessor.transform(records)
 
-    def predict(self, records: TrafficRecords) -> np.ndarray:
-        """Predicted class names for each record."""
+    def predict(self, records: TrafficRecords, fast: bool = False) -> np.ndarray:
+        """Predicted class names for each record.
+
+        ``fast=True`` routes the forward pass through the graph-free
+        inference path (see :meth:`repro.nn.models.Model.predict`); the
+        :class:`~repro.serving.DetectionService` uses it by default.
+        """
         self._require_fitted()
         prepared = self.preprocessor.transform(records)
-        class_indices = self.network.predict_classes(prepared.inputs)
+        class_indices = self.network.predict_classes(prepared.inputs, fast=fast)
         return self.preprocessor.label_encoder.inverse_transform(class_indices)
 
-    def predict_proba(self, records: TrafficRecords) -> np.ndarray:
+    def predict_proba(self, records: TrafficRecords, fast: bool = False) -> np.ndarray:
         """Class-probability matrix aligned with the schema's class order."""
         self._require_fitted()
         prepared = self.preprocessor.transform(records)
-        return self.network.predict(prepared.inputs)
+        return self.network.predict(prepared.inputs, fast=fast)
 
-    def predict_is_attack(self, records: TrafficRecords) -> np.ndarray:
+    def predict_is_attack(self, records: TrafficRecords, fast: bool = False) -> np.ndarray:
         """Binary attack(1)/normal(0) prediction per record."""
-        predictions = self.predict(records)
+        predictions = self.predict(records, fast=fast)
         return (predictions != self.schema.normal_class).astype(np.int64)
 
-    def evaluate(self, records: TrafficRecords) -> DetectionReport:
+    def evaluate(self, records: TrafficRecords, fast: bool = False) -> DetectionReport:
         """ACC/DR/FAR report on held-out records."""
         self._require_fitted()
         prepared = self.preprocessor.transform(records)
-        predicted = self.network.predict_classes(prepared.inputs)
+        predicted = self.network.predict_classes(prepared.inputs, fast=fast)
         return evaluate_detection(
             prepared.class_indices, predicted, prepared.normal_index
         )

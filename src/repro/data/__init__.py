@@ -7,7 +7,13 @@ are :func:`load_nslkdd` and :func:`load_unswnb15`, which return
 """
 
 from .dataset import TrafficRecords
-from .generator import DifficultyProfile, TrafficGenerator
+from .generator import (
+    DifficultyProfile,
+    StreamBatch,
+    StreamPhase,
+    TrafficGenerator,
+    TrafficStream,
+)
 from .nslkdd import NSLKDD_PROFILE, load_nslkdd, nslkdd_generator
 from .schema import (
     NSLKDD_SCHEMA,
@@ -23,6 +29,9 @@ __all__ = [
     "TrafficRecords",
     "TrafficGenerator",
     "DifficultyProfile",
+    "StreamPhase",
+    "StreamBatch",
+    "TrafficStream",
     "DatasetSchema",
     "NumericFeature",
     "CategoricalFeature",

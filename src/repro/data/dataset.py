@@ -108,8 +108,14 @@ class TrafficRecords:
     # Manipulation
     # ------------------------------------------------------------------ #
     def subset(self, indices: Sequence[int]) -> "TrafficRecords":
-        """Return a new container holding only the records at ``indices``."""
+        """Return a new container holding only the records at ``indices``.
+
+        An empty selection yields a valid zero-record container (an empty
+        sequence would otherwise coerce to a float array and fail to index).
+        """
         indices = np.asarray(indices)
+        if indices.dtype != bool:
+            indices = indices.astype(np.int64, copy=False)
         return TrafficRecords(
             schema=self.schema,
             numeric=self.numeric[indices],

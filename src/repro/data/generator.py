@@ -25,14 +25,20 @@ statistical structure the paper's experiments exercise:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from .dataset import TrafficRecords
 from .schema import CategoricalFeature, DatasetSchema
 
-__all__ = ["DifficultyProfile", "TrafficGenerator"]
+__all__ = [
+    "DifficultyProfile",
+    "TrafficGenerator",
+    "StreamPhase",
+    "StreamBatch",
+    "TrafficStream",
+]
 
 
 @dataclass(frozen=True)
@@ -288,3 +294,236 @@ class TrafficGenerator:
             for name, count in zip(class_names, counts)
         ]
         return TrafficRecords.concatenate(parts).shuffled(rng)
+
+
+# ---------------------------------------------------------------------- #
+# Streaming scenarios
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class StreamPhase:
+    """One episode of a :class:`TrafficStream` scenario.
+
+    Parameters
+    ----------
+    name:
+        Label attached to every batch of the phase (used by the serving
+        layer's per-phase monitoring).
+    batches:
+        Number of record batches the phase emits.
+    mix:
+        Mapping ``class name -> weight`` describing the traffic composition
+        at the start of the phase; weights are normalised, classes omitted
+        get weight zero.
+    end_mix:
+        Optional composition at the *end* of the phase.  When given, the mix
+        is linearly interpolated batch-by-batch — this is how gradual drift
+        scenarios (e.g. an attack slowly ramping up inside benign traffic)
+        are expressed.
+    drift_scale:
+        Magnitude of a gradual covariate shift applied to the numeric
+        features: batch ``i`` is offset by ``drift_scale * progress`` along a
+        fixed random direction drawn from the stream's seed, where progress
+        ramps 0 → 1 across the phase.  This models the feature drift that
+        degrades a deployed detector without any label change.
+    """
+
+    name: str
+    batches: int
+    mix: Mapping[str, float]
+    end_mix: Optional[Mapping[str, float]] = None
+    drift_scale: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.batches <= 0:
+            raise ValueError("a stream phase must emit at least one batch")
+        for mapping in (self.mix, self.end_mix):
+            if mapping is None:
+                continue
+            if not mapping:
+                raise ValueError("a phase mix cannot be empty")
+            if any(weight < 0 for weight in mapping.values()):
+                raise ValueError("mix weights must be non-negative")
+            if sum(mapping.values()) <= 0:
+                raise ValueError("mix weights must sum to a positive value")
+        if self.drift_scale < 0:
+            raise ValueError("drift_scale must be non-negative")
+
+
+@dataclass(frozen=True)
+class StreamBatch:
+    """A batch emitted by :class:`TrafficStream`.
+
+    ``index`` is the global batch number, ``phase_index`` the position inside
+    the phase, and ``mix`` the resolved (normalised, possibly interpolated)
+    class composition the batch was drawn from.
+    """
+
+    records: TrafficRecords
+    phase: str
+    index: int
+    phase_index: int
+    mix: Dict[str, float]
+
+
+class TrafficStream:
+    """Episodic scenario driver on top of :class:`TrafficGenerator`.
+
+    Emits a deterministic (seeded) sequence of mixed benign/attack record
+    batches: a steady benign baseline, flood-style attack bursts at
+    configurable mix ratios, and gradual drift.  This is the workload the
+    :class:`repro.serving.DetectionService` is exercised under — the
+    streaming stand-in for the replayed-PCAP load tests the DDoS literature
+    uses.
+
+    The stream is re-iterable: every call to :meth:`batches` (or ``iter``)
+    replays exactly the same sequence.
+    """
+
+    def __init__(
+        self,
+        generator: TrafficGenerator,
+        phases: Sequence[StreamPhase],
+        batch_size: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if not phases:
+            raise ValueError("a TrafficStream needs at least one phase")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        known = set(generator.schema.classes)
+        for phase in phases:
+            for mapping in (phase.mix, phase.end_mix) if phase.end_mix else (phase.mix,):
+                unknown = set(mapping) - known
+                if unknown:
+                    raise ValueError(
+                        f"phase {phase.name!r} references unknown classes: "
+                        f"{sorted(unknown)}"
+                    )
+        self.generator = generator
+        self.phases = list(phases)
+        self.batch_size = int(batch_size)
+        self.seed = int(seed)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def schema(self) -> DatasetSchema:
+        return self.generator.schema
+
+    @property
+    def total_batches(self) -> int:
+        return sum(phase.batches for phase in self.phases)
+
+    @property
+    def total_records(self) -> int:
+        return self.total_batches * self.batch_size
+
+    def __iter__(self) -> Iterator[StreamBatch]:
+        return self.batches()
+
+    @staticmethod
+    def _resolve_mix(
+        phase: StreamPhase, progress: float, class_names: Sequence[str]
+    ) -> Dict[str, float]:
+        mix = {name: float(phase.mix.get(name, 0.0)) for name in class_names}
+        if phase.end_mix is not None:
+            end = {name: float(phase.end_mix.get(name, 0.0)) for name in class_names}
+            mix = {
+                name: (1.0 - progress) * mix[name] + progress * end[name]
+                for name in class_names
+            }
+        total = sum(mix.values())
+        return {name: weight / total for name, weight in mix.items()}
+
+    def batches(self) -> Iterator[StreamBatch]:
+        """Yield the scenario's batches (deterministic for a given seed)."""
+        rng = np.random.default_rng(self.seed)
+        n_numeric = len(self.schema.numeric_features)
+        drift_direction = rng.normal(0.0, 1.0, size=n_numeric)
+        drift_direction /= max(np.linalg.norm(drift_direction) / np.sqrt(n_numeric), 1e-12)
+
+        class_names = list(self.schema.classes)
+        index = 0
+        for phase in self.phases:
+            for phase_index in range(phase.batches):
+                # Progress ramps 0 -> 1 across the phase; a single-batch phase
+                # jumps straight to its end state (otherwise end_mix and
+                # drift_scale would be silently ignored).
+                if phase.batches == 1:
+                    progress = 1.0
+                else:
+                    progress = phase_index / (phase.batches - 1)
+                mix = self._resolve_mix(phase, progress, class_names)
+                probabilities = np.array([mix[name] for name in class_names])
+                counts = rng.multinomial(self.batch_size, probabilities)
+                parts = [
+                    self.generator.sample_class(name, int(count), rng)
+                    for name, count in zip(class_names, counts)
+                    if count > 0
+                ]
+                records = TrafficRecords.concatenate(parts).shuffled(rng)
+                if phase.drift_scale > 0.0:
+                    records.numeric = records.numeric + (
+                        phase.drift_scale * progress * drift_direction
+                    )
+                yield StreamBatch(
+                    records=records,
+                    phase=phase.name,
+                    index=index,
+                    phase_index=phase_index,
+                    mix=mix,
+                )
+                index += 1
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def flood_scenario(
+        cls,
+        generator: TrafficGenerator,
+        batch_size: int = 64,
+        seed: int = 0,
+        attack_class: Optional[str] = None,
+        baseline_batches: int = 6,
+        burst_batches: int = 4,
+        attack_fraction: float = 0.7,
+        drift_batches: int = 6,
+        drift_scale: float = 1.5,
+    ) -> "TrafficStream":
+        """Preset scenario: benign baseline, three flood bursts, then drift.
+
+        The bursts are named after the classic volumetric DDoS patterns
+        (SYN / UDP / HTTP flood, cf. the dpdk_100g traffic generator) and
+        are realised with the schema's DoS-style class at ``attack_fraction``
+        of the batch, mixed with decreasing amounts of benign and secondary
+        attack traffic.  The final phase ramps an attack back in *gradually*
+        while also drifting the numeric features.
+        """
+        schema = generator.schema
+        normal = schema.normal_class
+        attacks = schema.attack_classes
+        attack = attack_class or ("dos" if "dos" in attacks else attacks[0])
+        if attack not in attacks:
+            raise ValueError(f"unknown attack class {attack!r}; choices: {attacks}")
+        secondary = [name for name in attacks if name != attack]
+        benign = {normal: 1.0}
+        flood = {normal: 1.0 - attack_fraction, attack: attack_fraction}
+        mixed_flood = {
+            normal: 1.0 - attack_fraction,
+            attack: attack_fraction * (0.8 if secondary else 1.0),
+        }
+        if secondary:
+            mixed_flood[secondary[0]] = attack_fraction * 0.2
+        phases = [
+            StreamPhase("benign-baseline", baseline_batches, benign),
+            StreamPhase("syn-flood", burst_batches, flood),
+            StreamPhase("recovery", max(baseline_batches // 2, 1), benign),
+            StreamPhase("udp-flood", burst_batches, mixed_flood),
+            StreamPhase("http-flood", burst_batches, flood),
+            StreamPhase(
+                "gradual-drift",
+                drift_batches,
+                benign,
+                end_mix={normal: 0.6, attack: 0.4},
+                drift_scale=drift_scale,
+            ),
+        ]
+        return cls(generator, phases, batch_size=batch_size, seed=seed)

@@ -7,7 +7,17 @@ used throughout the paper), callbacks and the :class:`Sequential` model
 container with a complete ``fit``/``evaluate``/``predict`` loop.
 """
 
-from . import callbacks, gradcheck, initializers, layers, losses, metrics, optimizers, random
+from . import (
+    callbacks,
+    gradcheck,
+    inference,
+    initializers,
+    layers,
+    losses,
+    metrics,
+    optimizers,
+    random,
+)
 from .callbacks import EarlyStopping, History, LearningRateScheduler
 from .layers import (
     GRU,

@@ -15,7 +15,7 @@ import numpy as np
 
 from ..initializers import Initializer, get_initializer
 from ..random import spawn_rng
-from ..tensor import Tensor, as_tensor
+from ..tensor import Tensor, as_tensor, no_grad
 
 __all__ = ["Layer"]
 
@@ -114,6 +114,38 @@ class Layer:
             self.build(inputs.shape)
             self.built = True
         return self.call(inputs, training=training)
+
+    # ------------------------------------------------------------------ #
+    # Graph-free inference fast path (see repro.nn.inference)
+    # ------------------------------------------------------------------ #
+    def fast_call(self, inputs):
+        """Inference-mode forward on raw ndarrays, bypassing the autodiff tape.
+
+        Subclasses override this with pure-numpy kernels; the default falls
+        back to the tape path under ``no_grad`` so custom layers remain
+        usable (just without the speedup).  Inference semantics apply:
+        dropout is a no-op and batch norm uses its moving statistics.
+        """
+        with no_grad():
+            if isinstance(inputs, (list, tuple)):
+                result = self.call([as_tensor(x) for x in inputs], training=False)
+            else:
+                result = self.call(as_tensor(inputs), training=False)
+        return result.data
+
+    def fast_forward(self, inputs):
+        """Build the layer if needed, then run :meth:`fast_call`."""
+        if isinstance(inputs, (list, tuple)):
+            arrays = [np.asarray(x) for x in inputs]
+            if not self.built:
+                self.build(tuple(a.shape for a in arrays))
+                self.built = True
+            return self.fast_call(arrays)
+        inputs = np.asarray(inputs)
+        if not self.built:
+            self.build(inputs.shape)
+            self.built = True
+        return self.fast_call(inputs)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

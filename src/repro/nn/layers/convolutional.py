@@ -4,7 +4,10 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Tuple, Union
 
+import numpy as np
+
 from .. import tensor as ops
+from ..inference import get_raw_activation, raw_conv1d
 from ..initializers import Initializer
 from ..tensor import Tensor
 from .base import Layer
@@ -55,6 +58,7 @@ class Conv1D(Layer):
         self.strides = int(strides)
         self.padding = padding
         self.activation = get_activation(activation)
+        self.activation_raw = get_raw_activation(activation)
         self.use_bias = use_bias
         self.kernel_initializer = kernel_initializer
         self.kernel: Optional[Tensor] = None
@@ -83,3 +87,13 @@ class Conv1D(Layer):
             padding=self.padding,
         )
         return self.activation(outputs)
+
+    def fast_call(self, inputs: np.ndarray) -> np.ndarray:
+        outputs = raw_conv1d(
+            inputs,
+            self.kernel.data,
+            bias=self.bias.data if self.use_bias else None,
+            stride=self.strides,
+            padding=self.padding,
+        )
+        return self.activation_raw(outputs)

@@ -13,6 +13,7 @@ from typing import Callable, Optional, Tuple, Union
 import numpy as np
 
 from .. import tensor as ops
+from ..inference import get_raw_activation
 from ..initializers import Initializer
 from ..tensor import Tensor
 from .base import Layer
@@ -71,6 +72,7 @@ class Dense(Layer):
             raise ValueError("units must be a positive integer")
         self.units = int(units)
         self.activation = get_activation(activation)
+        self.activation_raw = get_raw_activation(activation)
         self.use_bias = use_bias
         self.kernel_initializer = kernel_initializer
         self.kernel: Optional[Tensor] = None
@@ -90,6 +92,12 @@ class Dense(Layer):
             outputs = outputs + self.bias
         return self.activation(outputs)
 
+    def fast_call(self, inputs: np.ndarray) -> np.ndarray:
+        outputs = inputs @ self.kernel.data
+        if self.use_bias:
+            outputs = outputs + self.bias.data
+        return self.activation_raw(outputs)
+
 
 class Activation(Layer):
     """Standalone activation layer (e.g. the ReLU after each residual add)."""
@@ -97,9 +105,13 @@ class Activation(Layer):
     def __init__(self, activation: Union[str, Callable], name: Optional[str] = None) -> None:
         super().__init__(name=name)
         self.activation = get_activation(activation)
+        self.activation_raw = get_raw_activation(activation)
 
     def call(self, inputs: Tensor, training: bool = False) -> Tensor:
         return self.activation(inputs)
+
+    def fast_call(self, inputs: np.ndarray) -> np.ndarray:
+        return self.activation_raw(inputs)
 
 
 class Dropout(Layer):
@@ -120,6 +132,9 @@ class Dropout(Layer):
             return inputs
         return ops.dropout(inputs, self.rate, rng=self.rng)
 
+    def fast_call(self, inputs: np.ndarray) -> np.ndarray:
+        return inputs
+
 
 class Flatten(Layer):
     """Flatten everything except the batch dimension."""
@@ -127,6 +142,9 @@ class Flatten(Layer):
     def call(self, inputs: Tensor, training: bool = False) -> Tensor:
         batch = inputs.shape[0]
         return ops.reshape(inputs, (batch, -1))
+
+    def fast_call(self, inputs: np.ndarray) -> np.ndarray:
+        return inputs.reshape(inputs.shape[0], -1)
 
 
 class Reshape(Layer):
@@ -141,12 +159,18 @@ class Reshape(Layer):
         self.target_shape = tuple(int(d) for d in target_shape)
 
     def call(self, inputs: Tensor, training: bool = False) -> Tensor:
-        batch = inputs.shape[0]
+        self._check_size(inputs.shape)
+        return ops.reshape(inputs, (inputs.shape[0], *self.target_shape))
+
+    def fast_call(self, inputs: np.ndarray) -> np.ndarray:
+        self._check_size(inputs.shape)
+        return inputs.reshape(inputs.shape[0], *self.target_shape)
+
+    def _check_size(self, shape: Tuple[int, ...]) -> None:
         expected = int(np.prod(self.target_shape))
-        actual = int(np.prod(inputs.shape[1:]))
+        actual = int(np.prod(shape[1:]))
         if expected != actual:
             raise ValueError(
                 f"cannot reshape input with {actual} features per sample into "
                 f"{self.target_shape} ({expected} features)"
             )
-        return ops.reshape(inputs, (batch, *self.target_shape))

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from .. import tensor as ops
 from ..tensor import Tensor
 from .base import Layer
@@ -30,6 +32,17 @@ class Add(Layer):
             total = total + tensor
         return total
 
+    def fast_call(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        if not isinstance(inputs, (list, tuple)) or len(inputs) < 2:
+            raise ValueError("Add expects a list of at least two input tensors")
+        shapes = {tuple(x.shape) for x in inputs}
+        if len(shapes) != 1:
+            raise ValueError(f"Add requires identical input shapes, got {sorted(shapes)}")
+        total = inputs[0]
+        for array in inputs[1:]:
+            total = total + array
+        return total
+
 
 class Concatenate(Layer):
     """Concatenate tensors along a given axis (default: the channel axis)."""
@@ -42,3 +55,8 @@ class Concatenate(Layer):
         if not isinstance(inputs, (list, tuple)) or len(inputs) < 2:
             raise ValueError("Concatenate expects a list of at least two input tensors")
         return ops.concatenate(list(inputs), axis=self.axis)
+
+    def fast_call(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        if not isinstance(inputs, (list, tuple)) or len(inputs) < 2:
+            raise ValueError("Concatenate expects a list of at least two input tensors")
+        return np.concatenate(list(inputs), axis=self.axis)

@@ -12,6 +12,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from .. import tensor as ops
+from ..inference import raw_batch_norm
 from ..tensor import Tensor
 from .base import Layer
 
@@ -88,3 +89,13 @@ class BatchNormalization(Layer):
             variance = self._buffers["moving_variance"]
             normalized = (inputs - mean) * ((variance + self.epsilon) ** -0.5)
         return normalized * self.gamma + self.beta
+
+    def fast_call(self, inputs: np.ndarray) -> np.ndarray:
+        return raw_batch_norm(
+            inputs,
+            self.gamma.data,
+            self.beta.data,
+            self._buffers["moving_mean"],
+            self._buffers["moving_variance"],
+            self.epsilon,
+        )

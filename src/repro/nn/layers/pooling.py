@@ -4,7 +4,10 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from .. import tensor as ops
+from ..inference import raw_max_pool1d
 from ..tensor import Tensor
 from .base import Layer
 
@@ -36,6 +39,11 @@ class MaxPooling1D(Layer):
 
     def call(self, inputs: Tensor, training: bool = False) -> Tensor:
         return ops.max_pool1d(
+            inputs, pool_size=self.pool_size, stride=self.strides, padding=self.padding
+        )
+
+    def fast_call(self, inputs: np.ndarray) -> np.ndarray:
+        return raw_max_pool1d(
             inputs, pool_size=self.pool_size, stride=self.strides, padding=self.padding
         )
 
@@ -72,6 +80,16 @@ class AveragePooling1D(Layer):
             pooled_windows.append(ops.reduce_mean(window, axis=1, keepdims=True))
         return ops.concatenate(pooled_windows, axis=1)
 
+    def fast_call(self, inputs: np.ndarray) -> np.ndarray:
+        steps = inputs.shape[1]
+        if steps == 1:
+            return inputs
+        windows = [
+            inputs[:, start:start + self.pool_size, :].mean(axis=1, keepdims=True)
+            for start in range(0, steps, self.strides)
+        ]
+        return np.concatenate(windows, axis=1)
+
 
 class GlobalAveragePooling1D(Layer):
     """Average over the whole time axis, producing ``(batch, channels)``.
@@ -83,9 +101,15 @@ class GlobalAveragePooling1D(Layer):
     def call(self, inputs: Tensor, training: bool = False) -> Tensor:
         return ops.global_average_pool1d(inputs)
 
+    def fast_call(self, inputs: np.ndarray) -> np.ndarray:
+        return inputs.mean(axis=1)
+
 
 class GlobalMaxPooling1D(Layer):
     """Max over the whole time axis, producing ``(batch, channels)``."""
 
     def call(self, inputs: Tensor, training: bool = False) -> Tensor:
         return ops.reduce_max(inputs, axis=1)
+
+    def fast_call(self, inputs: np.ndarray) -> np.ndarray:
+        return inputs.max(axis=1)

@@ -12,6 +12,7 @@ from typing import Callable, List, Optional, Tuple, Union
 import numpy as np
 
 from .. import tensor as ops
+from ..inference import get_raw_activation
 from ..tensor import Tensor
 from .base import Layer
 from .core import get_activation
@@ -36,7 +37,9 @@ class _RecurrentBase(Layer):
             raise ValueError("units must be a positive integer")
         self.units = int(units)
         self.activation = get_activation(activation)
+        self.activation_raw = get_raw_activation(activation)
         self.recurrent_activation = get_activation(recurrent_activation)
+        self.recurrent_activation_raw = get_raw_activation(recurrent_activation)
         self.return_sequences = return_sequences
 
     def _validate_input(self, input_shape: Tuple[int, ...]) -> int:
@@ -99,6 +102,39 @@ class GRU(_RecurrentBase):
             outputs.append(hidden)
         return self._stack_outputs(outputs)
 
+    def fast_call(self, inputs: np.ndarray) -> np.ndarray:
+        batch, steps, _ = inputs.shape
+        units = self.units
+        kernel = self.kernel.data
+        recurrent_kernel = self.recurrent_kernel.data
+        bias = self.bias.data
+        hidden: Optional[np.ndarray] = None  # None encodes the all-zero initial state
+        outputs: List[np.ndarray] = []
+        for step in range(steps):
+            gates_x = inputs[:, step, :] @ kernel + bias
+            if hidden is None:
+                # h_0 == 0, so the recurrent matmul contributes exactly zero
+                # (and the reset gate, which only scales gates_h, is moot).
+                update = self.recurrent_activation_raw(gates_x[:, 0:units])
+                candidate = self.activation_raw(gates_x[:, 2 * units:3 * units])
+                hidden = (1.0 - update) * candidate
+            else:
+                gates_h = hidden @ recurrent_kernel
+                update = self.recurrent_activation_raw(
+                    gates_x[:, 0:units] + gates_h[:, 0:units]
+                )
+                reset = self.recurrent_activation_raw(
+                    gates_x[:, units:2 * units] + gates_h[:, units:2 * units]
+                )
+                candidate = self.activation_raw(
+                    gates_x[:, 2 * units:3 * units]
+                    + reset * gates_h[:, 2 * units:3 * units]
+                )
+                hidden = update * hidden + (1.0 - update) * candidate
+            if self.return_sequences:
+                outputs.append(hidden)
+        return np.stack(outputs, axis=1) if self.return_sequences else hidden
+
 
 class LSTM(_RecurrentBase):
     """Long short-term memory layer (the recurrent core of the LSTM baseline).
@@ -144,6 +180,30 @@ class LSTM(_RecurrentBase):
             outputs.append(hidden)
         return self._stack_outputs(outputs)
 
+    def fast_call(self, inputs: np.ndarray) -> np.ndarray:
+        batch, steps, _ = inputs.shape
+        units = self.units
+        kernel = self.kernel.data
+        recurrent_kernel = self.recurrent_kernel.data
+        bias = self.bias.data
+        hidden: Optional[np.ndarray] = None  # None encodes the all-zero initial state
+        cell: Optional[np.ndarray] = None
+        outputs: List[np.ndarray] = []
+        for step in range(steps):
+            gates = inputs[:, step, :] @ kernel
+            if hidden is not None:
+                gates = gates + hidden @ recurrent_kernel
+            gates = gates + bias
+            input_gate = self.recurrent_activation_raw(gates[:, 0:units])
+            forget_gate = self.recurrent_activation_raw(gates[:, units:2 * units])
+            candidate = self.activation_raw(gates[:, 2 * units:3 * units])
+            output_gate = self.recurrent_activation_raw(gates[:, 3 * units:4 * units])
+            cell = input_gate * candidate if cell is None else forget_gate * cell + input_gate * candidate
+            hidden = output_gate * self.activation_raw(cell)
+            if self.return_sequences:
+                outputs.append(hidden)
+        return np.stack(outputs, axis=1) if self.return_sequences else hidden
+
 
 class SimpleRNN(_RecurrentBase):
     """Vanilla (Elman) recurrent layer, provided for completeness and ablations."""
@@ -171,3 +231,19 @@ class SimpleRNN(_RecurrentBase):
             )
             outputs.append(hidden)
         return self._stack_outputs(outputs)
+
+    def fast_call(self, inputs: np.ndarray) -> np.ndarray:
+        batch, steps, _ = inputs.shape
+        kernel = self.kernel.data
+        recurrent_kernel = self.recurrent_kernel.data
+        bias = self.bias.data
+        hidden: Optional[np.ndarray] = None  # None encodes the all-zero initial state
+        outputs: List[np.ndarray] = []
+        for step in range(steps):
+            preact = inputs[:, step, :] @ kernel
+            if hidden is not None:
+                preact = preact + hidden @ recurrent_kernel
+            hidden = self.activation_raw(preact + bias)
+            if self.return_sequences:
+                outputs.append(hidden)
+        return np.stack(outputs, axis=1) if self.return_sequences else hidden

@@ -111,6 +111,10 @@ class Model(Layer):
         y = np.asarray(y, dtype=np.float64)
         if len(x) != len(y):
             raise ValueError(f"x and y lengths differ: {len(x)} vs {len(y)}")
+        if len(x) == 0:
+            # Catch this up front: zero batches would otherwise surface as an
+            # opaque "Weights sum to zero" ZeroDivisionError from np.average.
+            raise ValueError("cannot fit on empty data")
         if epochs <= 0 or batch_size <= 0:
             raise ValueError("epochs and batch_size must be positive")
 
@@ -166,19 +170,71 @@ class Model(Layer):
     # ------------------------------------------------------------------ #
     # Inference
     # ------------------------------------------------------------------ #
-    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
-        """Forward pass in inference mode, returning a numpy array."""
+    def predict(
+        self, x: np.ndarray, batch_size: int = 256, fast: bool = False
+    ) -> np.ndarray:
+        """Forward pass in inference mode, returning a numpy array.
+
+        With ``fast=True`` the batches run through the graph-free inference
+        path (:meth:`~repro.nn.layers.base.Layer.fast_call`): no autodiff
+        tape nodes are built and the layers use raw-numpy kernels.  The
+        contract is exact inference equivalence — dropout is a no-op and
+        batch norm uses moving statistics on both paths, and the returned
+        probabilities match the graph path to float64 round-off (well within
+        1e-6).  Layers without a fast kernel transparently fall back to the
+        graph path.
+
+        Empty inputs return a correctly shaped ``(0, ...)`` array instead of
+        crashing downstream ``argmax`` calls — empty batches are routine in
+        a streaming service.
+        """
         x = np.asarray(x, dtype=np.float64)
+        if len(x) == 0:
+            return self._predict_empty(x)
         outputs: List[np.ndarray] = []
         with no_grad():
             for start in range(0, len(x), batch_size):
                 batch = x[start:start + batch_size]
-                outputs.append(self(batch, training=False).data)
-        return np.concatenate(outputs, axis=0) if outputs else np.empty((0,))
+                if fast:
+                    outputs.append(np.asarray(self.fast_forward(batch)))
+                else:
+                    outputs.append(self(batch, training=False).data)
+        return np.concatenate(outputs, axis=0)
 
-    def predict_classes(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
-        """Argmax class predictions."""
-        return np.argmax(self.predict(x, batch_size=batch_size), axis=-1)
+    def _predict_empty(self, x: np.ndarray) -> np.ndarray:
+        """Shape-correct prediction for a zero-record batch."""
+        if x.ndim >= 2:
+            # The feature dimensions are present, so a (possibly building)
+            # forward pass yields the exact output shape.
+            with no_grad():
+                return self(x, training=False).data
+        width = self._inferred_output_width()
+        if width is None:
+            raise ValueError(
+                "cannot infer the output shape for an empty input without "
+                "feature dimensions on an unbuilt model; pass an array shaped "
+                "(0, ...features) or build the model first"
+            )
+        return np.zeros((0, width))
+
+    def _inferred_output_width(self) -> Optional[int]:
+        """Output width taken from the last ``units``-bearing (sub-)layer."""
+
+        def walk(layer: Layer) -> Optional[int]:
+            for sublayer in reversed(layer.sublayers):
+                width = walk(sublayer)
+                if width is not None:
+                    return width
+            units = getattr(layer, "units", None)
+            return int(units) if units else None
+
+        return walk(self)
+
+    def predict_classes(
+        self, x: np.ndarray, batch_size: int = 256, fast: bool = False
+    ) -> np.ndarray:
+        """Argmax class predictions (empty inputs yield an empty int array)."""
+        return np.argmax(self.predict(x, batch_size=batch_size, fast=fast), axis=-1)
 
     def evaluate(
         self, x: np.ndarray, y: np.ndarray, batch_size: int = 256
@@ -188,6 +244,8 @@ class Model(Layer):
             raise RuntimeError("the model must be compiled before evaluation")
         x = np.asarray(x, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64)
+        if len(x) == 0:
+            raise ValueError("cannot evaluate on empty data")
         losses: List[float] = []
         sizes: List[int] = []
         predictions: List[np.ndarray] = []
@@ -245,4 +303,10 @@ class Sequential(Model):
         outputs = inputs
         for layer in self.sublayers:
             outputs = layer(outputs, training=training)
+        return outputs
+
+    def fast_call(self, inputs: np.ndarray) -> np.ndarray:
+        outputs = inputs
+        for layer in self._sublayers:
+            outputs = layer.fast_forward(outputs)
         return outputs

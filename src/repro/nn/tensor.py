@@ -41,6 +41,8 @@ __all__ = [
     "stack",
     "pad1d",
     "no_grad",
+    "same_padding1d",
+    "im2col1d",
 ]
 
 
@@ -634,7 +636,20 @@ def pad1d(a: ArrayLike, left: int, right: int) -> Tensor:
 # ---------------------------------------------------------------------- #
 # Convolution and pooling primitives (1-D, channels-last)
 # ---------------------------------------------------------------------- #
-def _im2col1d(x: np.ndarray, kernel_size: int, stride: int) -> np.ndarray:
+def same_padding1d(steps: int, window: int, stride: int) -> Tuple[int, int]:
+    """Keras-style ``"same"`` padding for a 1-D window op.
+
+    Returns ``(pad_left, pad_right)`` such that the output length equals
+    ``ceil(steps / stride)``.  Shared by the graph ops below and the raw
+    inference kernels in :mod:`repro.nn.inference`.
+    """
+    out_steps = int(np.ceil(steps / stride))
+    pad_total = max((out_steps - 1) * stride + window - steps, 0)
+    pad_left = pad_total // 2
+    return pad_left, pad_total - pad_left
+
+
+def im2col1d(x: np.ndarray, kernel_size: int, stride: int) -> np.ndarray:
     """Turn ``(batch, steps, channels)`` into ``(batch, out_steps, kernel*channels)``."""
     batch, steps, channels = x.shape
     out_steps = (steps - kernel_size) // stride + 1
@@ -646,6 +661,10 @@ def _im2col1d(x: np.ndarray, kernel_size: int, stride: int) -> np.ndarray:
         writeable=False,
     )
     return windows.reshape(batch, out_steps, kernel_size * channels)
+
+
+# Backwards-compatible private alias (pre-fast-path name).
+_im2col1d = im2col1d
 
 
 def conv1d(
@@ -674,17 +693,14 @@ def conv1d(
         )
 
     if padding == "same":
-        out_steps = int(np.ceil(steps / stride))
-        pad_total = max((out_steps - 1) * stride + kernel_size - steps, 0)
-        pad_left = pad_total // 2
-        pad_right = pad_total - pad_left
+        pad_left, pad_right = same_padding1d(steps, kernel_size, stride)
     elif padding == "valid":
         pad_left = pad_right = 0
     else:
         raise ValueError(f"unknown padding mode: {padding!r}")
 
     x_padded = np.pad(x.data, ((0, 0), (pad_left, pad_right), (0, 0)))
-    columns = _im2col1d(x_padded, kernel_size, stride)
+    columns = im2col1d(x_padded, kernel_size, stride)
     kernel_matrix = kernel.data.reshape(kernel_size * in_channels, out_channels)
     data = columns @ kernel_matrix
     if bias is not None:
@@ -729,10 +745,7 @@ def max_pool1d(
     batch, steps, channels = x.shape
 
     if padding == "same":
-        out_steps = int(np.ceil(steps / stride))
-        pad_total = max((out_steps - 1) * stride + pool_size - steps, 0)
-        pad_left = pad_total // 2
-        pad_right = pad_total - pad_left
+        pad_left, pad_right = same_padding1d(steps, pool_size, stride)
     elif padding == "valid":
         pad_left = pad_right = 0
     else:

@@ -1,0 +1,33 @@
+"""``repro.serving`` — the streaming detection service.
+
+Turns a fitted :class:`~repro.core.detector.PelicanDetector` into a
+continuously-running scorer for traffic streams.  The subsystem is built
+from three pieces, each independently testable:
+
+* :class:`MicroBatcher` (:mod:`repro.serving.batching`) — size/age-triggered
+  micro-batching of incoming records;
+* :class:`CachedPreprocessor` + :class:`DetectionService`
+  (:mod:`repro.serving.service`) — cached, vectorised preprocessing and the
+  graph-free ``fast=True`` forward pass, with per-batch latency accounting;
+* :class:`RollingDetectionMonitor` / :class:`ThroughputMonitor`
+  (:mod:`repro.serving.monitor`) — sliding-window ACC/DR/FAR plus
+  records-per-second headline numbers.
+
+Workloads come from :class:`repro.data.TrafficStream`, the episodic
+benign/flood/drift scenario driver.  See ``examples/streaming_detection.py``
+for the end-to-end wiring.
+"""
+
+from .batching import MicroBatcher
+from .monitor import RollingDetectionMonitor, ThroughputMonitor
+from .service import BatchResult, CachedPreprocessor, DetectionService, ServiceReport
+
+__all__ = [
+    "MicroBatcher",
+    "RollingDetectionMonitor",
+    "ThroughputMonitor",
+    "CachedPreprocessor",
+    "DetectionService",
+    "BatchResult",
+    "ServiceReport",
+]

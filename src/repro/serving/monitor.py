@@ -1,0 +1,144 @@
+"""Rolling quality and throughput accounting for the detection service.
+
+:class:`RollingDetectionMonitor` keeps the paper's ACC/DR/FAR metrics live
+over a sliding window of the most recent records, so flood episodes and
+drift show up in the numbers within a window's worth of traffic instead of
+being averaged away.  :class:`ThroughputMonitor` aggregates per-batch
+latency into the serving headline numbers (records/s, mean and p95 batch
+latency).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+import numpy as np
+
+from ..metrics.ids_metrics import DetectionReport, evaluate_detection
+
+__all__ = ["RollingDetectionMonitor", "ThroughputMonitor"]
+
+
+class RollingDetectionMonitor:
+    """Sliding-window ACC/DR/FAR built on :func:`evaluate_detection`.
+
+    Parameters
+    ----------
+    normal_index:
+        Index of the normal class inside the detector's class order (used
+        to binarise multi-class labels into attack/normal).
+    window:
+        Number of most-recent records the rolling report covers.
+    """
+
+    def __init__(self, normal_index: int, window: int = 512) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.normal_index = int(normal_index)
+        self.window = int(window)
+        self._true: Deque[int] = deque(maxlen=window)
+        self._predicted: Deque[int] = deque(maxlen=window)
+        self._seen = 0
+
+    @property
+    def seen(self) -> int:
+        """Total number of records ever observed (not just the window)."""
+        return self._seen
+
+    @property
+    def current_size(self) -> int:
+        """Number of records currently inside the window."""
+        return len(self._true)
+
+    def update(self, true_classes: np.ndarray, predicted_classes: np.ndarray) -> None:
+        """Append a batch of (true, predicted) multi-class labels."""
+        true_classes = np.asarray(true_classes, dtype=np.int64)
+        predicted_classes = np.asarray(predicted_classes, dtype=np.int64)
+        if true_classes.shape != predicted_classes.shape:
+            raise ValueError(
+                "true and predicted label arrays must have the same shape"
+            )
+        self._true.extend(true_classes.tolist())
+        self._predicted.extend(predicted_classes.tolist())
+        self._seen += len(true_classes)
+
+    def report(self) -> Optional[DetectionReport]:
+        """ACC/DR/FAR over the window, or None before any traffic arrived."""
+        if not self._true:
+            return None
+        return evaluate_detection(
+            np.fromiter(self._true, dtype=np.int64),
+            np.fromiter(self._predicted, dtype=np.int64),
+            self.normal_index,
+        )
+
+
+class ThroughputMonitor:
+    """Per-batch latency/throughput accounting.
+
+    Totals (records, batches, time) are running counters, so they cover the
+    service's whole lifetime; the latency distribution (mean/p95) is kept
+    over a bounded window of the most recent batches so a long-lived service
+    neither grows without bound nor averages incidents away.
+    """
+
+    def __init__(self, window: int = 1024) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = int(window)
+        self._recent_latencies: Deque[float] = deque(maxlen=window)
+        self._total_batches = 0
+        self._total_records = 0
+        self._total_time = 0.0
+
+    def update(self, batch_size: int, latency: float) -> None:
+        if batch_size < 0 or latency < 0:
+            raise ValueError("batch_size and latency must be non-negative")
+        self._total_batches += 1
+        self._total_records += int(batch_size)
+        self._total_time += float(latency)
+        self._recent_latencies.append(float(latency))
+
+    @property
+    def total_batches(self) -> int:
+        return self._total_batches
+
+    @property
+    def total_records(self) -> int:
+        return self._total_records
+
+    @property
+    def total_time(self) -> float:
+        """Summed in-service processing time across all batches."""
+        return self._total_time
+
+    @property
+    def throughput(self) -> float:
+        """Records per second of processing time (0.0 before any batch)."""
+        return self._total_records / self._total_time if self._total_time > 0 else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean batch latency over the recent window."""
+        if not self._recent_latencies:
+            return 0.0
+        return float(np.mean(self._recent_latencies))
+
+    @property
+    def p95_latency(self) -> float:
+        """95th-percentile batch latency over the recent window."""
+        if not self._recent_latencies:
+            return 0.0
+        return float(np.percentile(self._recent_latencies, 95))
+
+    def snapshot(self) -> Dict[str, float]:
+        """Headline numbers as a plain dict (for logs and benchmark JSON)."""
+        return {
+            "batches": float(self.total_batches),
+            "records": float(self.total_records),
+            "total_time_s": self.total_time,
+            "throughput_rps": self.throughput,
+            "mean_latency_s": self.mean_latency,
+            "p95_latency_s": self.p95_latency,
+        }

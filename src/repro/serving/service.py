@@ -1,0 +1,298 @@
+"""The streaming detection service.
+
+Architecture (one request path, three stages):
+
+1. **Micro-batching** — incoming :class:`~repro.data.dataset.TrafficRecords`
+   are buffered by a :class:`~repro.serving.batching.MicroBatcher` and
+   released as model-sized batches (size trigger) or after a bounded wait
+   (age trigger), so tiny submissions do not pay a full forward pass each.
+2. **Cached preprocessing** — :class:`CachedPreprocessor` precomputes the
+   one-hot layout (per-column value→position tables) and folds the standard
+   scaler into a single multiply-add, replacing the per-record Python loops
+   of the training-time :class:`~repro.preprocessing.pipeline.IDSPreprocessor`
+   with vectorised lookups.  Numerics match the training pipeline to
+   float64 round-off.
+3. **Graph-free inference** — the batch runs through
+   ``Model.predict(..., fast=True)`` (see :mod:`repro.nn.inference`), and
+   every batch updates a rolling ACC/DR/FAR monitor plus per-batch
+   latency/throughput accounting.
+
+The service is synchronous by design for this first cut; async workers and
+multi-detector sharding are tracked as ROADMAP open items.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.detector import PelicanDetector
+from ..data.dataset import TrafficRecords
+from ..data.generator import StreamBatch
+from ..metrics.ids_metrics import DetectionReport
+from ..preprocessing.pipeline import IDSPreprocessor
+from .batching import MicroBatcher
+from .monitor import RollingDetectionMonitor, ThroughputMonitor
+
+__all__ = ["CachedPreprocessor", "BatchResult", "ServiceReport", "DetectionService"]
+
+
+class CachedPreprocessor:
+    """Vectorised, cache-backed version of a fitted ``IDSPreprocessor``.
+
+    Built once from the training-time preprocessor, it caches everything the
+    per-request transform needs: the categorical value→column tables, the
+    folded scaler coefficients and the label mapping.  The per-batch work is
+    then one dict lookup per categorical value and a single fused
+    multiply-add over the feature matrix.
+    """
+
+    def __init__(self, preprocessor: IDSPreprocessor) -> None:
+        scaler = preprocessor.scaler
+        if scaler.mean_ is None or scaler.scale_ is None:
+            raise RuntimeError(
+                "CachedPreprocessor requires a fitted IDSPreprocessor"
+            )
+        self.schema = preprocessor.schema
+        self._n_numeric = len(self.schema.numeric_features)
+        # Per categorical column: (offset into the feature vector, value->slot).
+        self._categorical_tables: List[Tuple[str, int, Dict[str, int]]] = []
+        offset = self._n_numeric
+        for name, vocabulary in preprocessor.encoder.categories_.items():
+            table = {value: position for position, value in enumerate(vocabulary)}
+            self._categorical_tables.append((name, offset, table))
+            offset += len(vocabulary)
+        self.num_features = offset
+        # Fold (x - mean) / scale into x * weight + shift.
+        self._scale_weight = 1.0 / scaler.scale_
+        self._scale_shift = -scaler.mean_ / scaler.scale_
+        self.class_names = list(preprocessor.label_encoder.classes_)
+        self._label_table = {
+            name: index for index, name in enumerate(self.class_names)
+        }
+        self.normal_index = self.class_names.index(self.schema.normal_class)
+
+    def transform_inputs(self, records: TrafficRecords) -> np.ndarray:
+        """Records → network input ``(n, 1, features)`` (fitted statistics)."""
+        n_records = len(records)
+        features = np.zeros((n_records, self.num_features))
+        features[:, : self._n_numeric] = records.numeric
+        rows = np.arange(n_records)
+        for name, offset, table in self._categorical_tables:
+            positions = np.fromiter(
+                (table.get(str(value), -1) for value in records.categorical[name]),
+                dtype=np.int64,
+                count=n_records,
+            )
+            known = positions >= 0
+            features[rows[known], offset + positions[known]] = 1.0
+        features = features * self._scale_weight + self._scale_shift
+        return features[:, np.newaxis, :]
+
+    def encode_labels(self, records: TrafficRecords) -> np.ndarray:
+        """Class names → integer ids in the detector's class order."""
+        try:
+            return np.fromiter(
+                (self._label_table[str(label)] for label in records.labels),
+                dtype=np.int64,
+                count=len(records),
+            )
+        except KeyError as exc:
+            raise ValueError(f"unknown label {exc.args[0]!r}") from exc
+
+    def decode_labels(self, class_indices: np.ndarray) -> np.ndarray:
+        """Integer ids → class names (object array)."""
+        names = np.asarray(self.class_names, dtype=object)
+        return names[np.asarray(class_indices, dtype=np.int64)]
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of one processed micro-batch."""
+
+    size: int
+    latency: float
+    predictions: np.ndarray          # predicted class names
+    class_indices: np.ndarray        # predicted integer classes
+    true_indices: np.ndarray         # ground-truth integer classes
+
+
+@dataclass(frozen=True)
+class ServiceReport:
+    """Summary of a served stream (see :meth:`DetectionService.run_stream`)."""
+
+    batches: int
+    records: int
+    throughput: float                # records / second of processing time
+    mean_latency: float
+    p95_latency: float
+    rolling: Optional[DetectionReport]
+    phase_reports: Dict[str, DetectionReport] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        rolling = f" rolling[{self.rolling}]" if self.rolling else ""
+        return (
+            f"ServiceReport(records={self.records}, batches={self.batches}, "
+            f"throughput={self.throughput:,.0f} rec/s, "
+            f"p95={self.p95_latency * 1e3:.1f} ms{rolling})"
+        )
+
+
+class DetectionService:
+    """Streaming front-end for a fitted :class:`PelicanDetector`.
+
+    Parameters
+    ----------
+    detector:
+        A fitted detector; its preprocessing pipeline and network are
+        wrapped, not copied.
+    max_batch_size / flush_interval:
+        Micro-batching policy (see :class:`MicroBatcher`).
+    window:
+        Rolling-monitor width in records.
+    fast:
+        Route forward passes through the graph-free inference path
+        (``Model.predict(..., fast=True)``); on by default.
+    clock:
+        Injectable time source shared by the batcher and the latency
+        accounting.
+    """
+
+    def __init__(
+        self,
+        detector: PelicanDetector,
+        max_batch_size: int = 256,
+        flush_interval: float = 0.05,
+        window: int = 512,
+        fast: bool = True,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not detector.is_fitted:
+            raise RuntimeError("DetectionService requires a fitted detector")
+        self.detector = detector
+        self.fast = bool(fast)
+        self.clock = clock
+        self.pipeline = CachedPreprocessor(detector.preprocessor)
+        self.batcher = MicroBatcher(
+            max_batch_size=max_batch_size,
+            flush_interval=flush_interval,
+            clock=clock,
+        )
+        self.monitor = RollingDetectionMonitor(
+            normal_index=self.pipeline.normal_index, window=window
+        )
+        self.throughput = ThroughputMonitor()
+
+    # ------------------------------------------------------------------ #
+    def process(self, records: TrafficRecords) -> BatchResult:
+        """Run one batch through preprocessing + inference immediately.
+
+        Bypasses the micro-batching queue; :meth:`submit` is the queued
+        entry point.
+        """
+        started = self.clock()
+        inputs = self.pipeline.transform_inputs(records)
+        probabilities = self.detector.network.predict(
+            inputs, batch_size=max(len(records), 1), fast=self.fast
+        )
+        predicted = np.argmax(probabilities, axis=-1)
+        latency = self.clock() - started
+        true_indices = self.pipeline.encode_labels(records)
+        self.monitor.update(true_indices, predicted)
+        self.throughput.update(len(records), latency)
+        return BatchResult(
+            size=len(records),
+            latency=latency,
+            predictions=self.pipeline.decode_labels(predicted),
+            class_indices=predicted,
+            true_indices=true_indices,
+        )
+
+    def submit(self, records: TrafficRecords) -> List[BatchResult]:
+        """Enqueue records; process and return whatever batches became due."""
+        return [self.process(batch) for batch in self.batcher.submit(records)]
+
+    def poll(self) -> List[BatchResult]:
+        """Process the pending partial batch if it aged past the interval."""
+        batch = self.batcher.poll()
+        return [self.process(batch)] if batch is not None else []
+
+    def flush(self) -> List[BatchResult]:
+        """Drain and process everything still queued."""
+        batch = self.batcher.flush()
+        return [self.process(batch)] if batch is not None else []
+
+    def report(self) -> ServiceReport:
+        """Current rolling quality + throughput summary."""
+        return ServiceReport(
+            batches=self.throughput.total_batches,
+            records=self.throughput.total_records,
+            throughput=self.throughput.throughput,
+            mean_latency=self.throughput.mean_latency,
+            p95_latency=self.throughput.p95_latency,
+            rolling=self.monitor.report(),
+        )
+
+    # ------------------------------------------------------------------ #
+    def run_stream(
+        self,
+        stream: Iterable[StreamBatch],
+        max_batches: Optional[int] = None,
+    ) -> ServiceReport:
+        """Serve a :class:`~repro.data.generator.TrafficStream` end-to-end.
+
+        Every stream batch goes through the micro-batching queue; a final
+        flush drains the tail.  Because the queue preserves submission
+        order, results can be attributed back to the emitting phase, giving
+        the per-phase ACC/DR/FAR breakdown in the returned report.
+        """
+        phase_monitors: Dict[str, RollingDetectionMonitor] = {}
+        # FIFO of (phase name, records still unattributed from that phase).
+        attribution: deque = deque()
+
+        def attribute(result: BatchResult) -> None:
+            consumed = 0
+            while consumed < result.size:
+                phase, remaining = attribution[0]
+                take = min(remaining, result.size - consumed)
+                monitor = phase_monitors.setdefault(
+                    phase,
+                    RollingDetectionMonitor(
+                        normal_index=self.pipeline.normal_index,
+                        window=self.monitor.window,
+                    ),
+                )
+                monitor.update(
+                    result.true_indices[consumed:consumed + take],
+                    result.class_indices[consumed:consumed + take],
+                )
+                consumed += take
+                if take == remaining:
+                    attribution.popleft()
+                else:
+                    attribution[0] = (phase, remaining - take)
+
+        served = 0
+        for stream_batch in stream:
+            if max_batches is not None and served >= max_batches:
+                break
+            if len(stream_batch.records) > 0:
+                attribution.append((stream_batch.phase, len(stream_batch.records)))
+            for result in self.submit(stream_batch.records):
+                attribute(result)
+            served += 1
+        for result in self.flush():
+            attribute(result)
+
+        return replace(
+            self.report(),
+            phase_reports={
+                phase: report
+                for phase, monitor in phase_monitors.items()
+                if (report := monitor.report()) is not None
+            },
+        )

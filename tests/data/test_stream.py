@@ -1,0 +1,152 @@
+"""Tests for the episodic TrafficStream scenario driver."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    NSLKDD_SCHEMA,
+    StreamPhase,
+    TrafficStream,
+    nslkdd_generator,
+)
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return nslkdd_generator(seed=5)
+
+
+def collect(stream):
+    return list(stream)
+
+
+class TestStreamPhase:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamPhase("p", 0, {"normal": 1.0})
+        with pytest.raises(ValueError):
+            StreamPhase("p", 1, {})
+        with pytest.raises(ValueError):
+            StreamPhase("p", 1, {"normal": -1.0})
+        with pytest.raises(ValueError):
+            StreamPhase("p", 1, {"normal": 1.0}, drift_scale=-0.5)
+
+    def test_unknown_class_rejected_by_stream(self, generator):
+        phase = StreamPhase("p", 1, {"slowloris": 1.0})
+        with pytest.raises(ValueError, match="unknown classes"):
+            TrafficStream(generator, [phase])
+
+
+class TestTrafficStream:
+    def test_batch_structure(self, generator):
+        stream = TrafficStream(
+            generator,
+            [StreamPhase("a", 2, {"normal": 1.0}), StreamPhase("b", 3, {"dos": 1.0})],
+            batch_size=32,
+            seed=1,
+        )
+        batches = collect(stream)
+        assert stream.total_batches == 5
+        assert stream.total_records == 160
+        assert [b.phase for b in batches] == ["a", "a", "b", "b", "b"]
+        assert [b.index for b in batches] == list(range(5))
+        assert [b.phase_index for b in batches] == [0, 1, 0, 1, 2]
+        assert all(len(b.records) == 32 for b in batches)
+
+    def test_mix_controls_labels(self, generator):
+        stream = TrafficStream(
+            generator,
+            [StreamPhase("flood", 4, {"normal": 0.25, "dos": 0.75})],
+            batch_size=200,
+            seed=2,
+        )
+        labels = np.concatenate([b.records.labels for b in stream])
+        dos_fraction = float(np.mean(labels == "dos"))
+        assert 0.65 < dos_fraction < 0.85
+
+    def test_seeded_streams_are_identical(self, generator):
+        first = collect(TrafficStream.flood_scenario(generator, batch_size=24, seed=7))
+        second = collect(TrafficStream.flood_scenario(generator, batch_size=24, seed=7))
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a.records.numeric, b.records.numeric)
+            np.testing.assert_array_equal(a.records.labels, b.records.labels)
+            assert a.phase == b.phase and a.mix == b.mix
+
+    def test_different_seeds_differ(self, generator):
+        first = collect(TrafficStream.flood_scenario(generator, batch_size=24, seed=7))
+        second = collect(TrafficStream.flood_scenario(generator, batch_size=24, seed=8))
+        assert not np.array_equal(first[0].records.numeric, second[0].records.numeric)
+
+    def test_stream_is_reiterable(self, generator):
+        stream = TrafficStream.flood_scenario(generator, batch_size=24, seed=3)
+        first, second = collect(stream), collect(stream)
+        assert len(first) == len(second) == stream.total_batches
+        np.testing.assert_array_equal(
+            first[-1].records.numeric, second[-1].records.numeric
+        )
+
+    def test_end_mix_interpolates_gradually(self, generator):
+        stream = TrafficStream(
+            generator,
+            [
+                StreamPhase(
+                    "ramp", 5, {"normal": 1.0}, end_mix={"normal": 0.0, "dos": 1.0}
+                )
+            ],
+            batch_size=16,
+            seed=4,
+        )
+        batches = collect(stream)
+        dos_weights = [b.mix["dos"] for b in batches]
+        assert dos_weights == pytest.approx([0.0, 0.25, 0.5, 0.75, 1.0])
+        assert set(batches[0].records.labels) == {"normal"}
+        assert set(batches[-1].records.labels) == {"dos"}
+
+    def test_single_batch_phase_reaches_its_end_state(self, generator):
+        # A one-batch phase must not silently drop end_mix/drift_scale.
+        stream = TrafficStream(
+            generator,
+            [
+                StreamPhase(
+                    "jump", 1, {"normal": 1.0},
+                    end_mix={"dos": 1.0}, drift_scale=1.0,
+                )
+            ],
+            batch_size=16,
+            seed=9,
+        )
+        (batch,) = collect(stream)
+        assert batch.mix["dos"] == pytest.approx(1.0)
+        assert set(batch.records.labels) == {"dos"}
+
+    def test_drift_offsets_numeric_features(self, generator):
+        def build(drift):
+            return TrafficStream(
+                generator,
+                [StreamPhase("d", 3, {"normal": 1.0}, drift_scale=drift)],
+                batch_size=16,
+                seed=6,
+            )
+
+        drifted = collect(build(2.0))
+        undrifted = collect(build(0.0))
+        # Same seed, same draws: the first batch (progress 0) is identical,
+        # the last differs exactly by the drift offset.
+        np.testing.assert_array_equal(
+            drifted[0].records.numeric, undrifted[0].records.numeric
+        )
+        delta = drifted[-1].records.numeric - undrifted[-1].records.numeric
+        assert np.abs(delta).max() > 0
+        # The offset is constant across records of the batch (up to the float
+        # cancellation noise of subtracting the large log-normal counters).
+        np.testing.assert_allclose(
+            delta, np.broadcast_to(delta[0], delta.shape), atol=1e-8
+        )
+
+    def test_flood_scenario_covers_the_three_episode_kinds(self, generator):
+        stream = TrafficStream.flood_scenario(generator, batch_size=16, seed=1)
+        phases = [phase.name for phase in stream.phases]
+        assert phases[0] == "benign-baseline"
+        assert any("flood" in name for name in phases)
+        assert phases[-1] == "gradual-drift"
+        assert stream.phases[-1].drift_scale > 0

@@ -11,6 +11,10 @@ import numpy as np
 import pytest
 
 from repro.baselines import RandomForestClassifier
+
+# These end-to-end trainings are the slowest part of the suite; they are
+# deselected by default (see the root conftest) and run with --runslow.
+pytestmark = pytest.mark.slow
 from repro.core import (
     NetworkConfig,
     PelicanDetector,

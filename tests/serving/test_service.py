@@ -1,0 +1,131 @@
+"""Tests for the cached preprocessing pipeline, monitors and DetectionService."""
+
+import numpy as np
+import pytest
+
+from repro.core import PelicanDetector
+from repro.data import NSLKDD_SCHEMA, load_nslkdd
+from repro.serving import (
+    CachedPreprocessor,
+    DetectionService,
+    RollingDetectionMonitor,
+    ThroughputMonitor,
+)
+
+
+@pytest.fixture(scope="module")
+def detector():
+    records = load_nslkdd(n_records=400, seed=11)
+    detector = PelicanDetector(
+        NSLKDD_SCHEMA, num_blocks=1, epochs=2, batch_size=64,
+        dropout_rate=0.3, seed=0,
+    )
+    detector.fit(records)
+    return detector
+
+
+@pytest.fixture()
+def traffic():
+    return load_nslkdd(n_records=150, seed=12)
+
+
+class TestCachedPreprocessor:
+    def test_matches_training_pipeline(self, detector, traffic):
+        prepared = detector.preprocessor.transform(traffic)
+        cached = CachedPreprocessor(detector.preprocessor)
+        np.testing.assert_allclose(
+            cached.transform_inputs(traffic), prepared.inputs, atol=1e-9, rtol=0
+        )
+        np.testing.assert_array_equal(
+            cached.encode_labels(traffic), prepared.class_indices
+        )
+        assert cached.normal_index == prepared.normal_index
+        assert cached.class_names == prepared.class_names
+
+    def test_decode_inverts_encode(self, detector, traffic):
+        cached = CachedPreprocessor(detector.preprocessor)
+        decoded = cached.decode_labels(cached.encode_labels(traffic))
+        np.testing.assert_array_equal(decoded, traffic.labels)
+
+    def test_requires_fitted_preprocessor(self):
+        from repro.preprocessing import IDSPreprocessor
+
+        with pytest.raises(RuntimeError, match="fitted"):
+            CachedPreprocessor(IDSPreprocessor(NSLKDD_SCHEMA))
+
+
+class TestMonitors:
+    def test_rolling_report_uses_only_the_window(self):
+        monitor = RollingDetectionMonitor(normal_index=0, window=4)
+        # First four records: all wrong (attacks missed).
+        monitor.update(np.array([1, 1, 1, 1]), np.array([0, 0, 0, 0]))
+        assert monitor.report().detection_rate == 0.0
+        # Four perfect records push the misses out of the window.
+        monitor.update(np.array([1, 1, 0, 0]), np.array([2, 1, 0, 0]))
+        report = monitor.report()
+        assert report.detection_rate == 1.0
+        assert report.false_alarm_rate == 0.0
+        assert monitor.seen == 8
+        assert monitor.current_size == 4
+
+    def test_empty_monitor_reports_none(self):
+        assert RollingDetectionMonitor(normal_index=0).report() is None
+
+    def test_throughput_monitor_aggregates(self):
+        monitor = ThroughputMonitor()
+        monitor.update(100, 0.5)
+        monitor.update(300, 0.5)
+        assert monitor.total_records == 400
+        assert monitor.total_batches == 2
+        assert monitor.throughput == pytest.approx(400.0)
+        assert monitor.mean_latency == pytest.approx(0.5)
+        snapshot = monitor.snapshot()
+        assert snapshot["records"] == 400.0
+        assert snapshot["throughput_rps"] == pytest.approx(400.0)
+
+
+class TestDetectionService:
+    def test_requires_fitted_detector(self):
+        unfitted = PelicanDetector(NSLKDD_SCHEMA, num_blocks=1)
+        with pytest.raises(RuntimeError, match="fitted"):
+            DetectionService(unfitted)
+
+    def test_process_matches_detector_predictions(self, detector, traffic):
+        service = DetectionService(detector)
+        result = service.process(traffic)
+        np.testing.assert_array_equal(result.predictions, detector.predict(traffic))
+        assert result.size == len(traffic)
+        assert result.latency >= 0.0
+
+    def test_fast_and_graph_service_agree(self, detector, traffic):
+        fast = DetectionService(detector, fast=True).process(traffic)
+        graph = DetectionService(detector, fast=False).process(traffic)
+        np.testing.assert_array_equal(fast.class_indices, graph.class_indices)
+
+    def test_submit_respects_micro_batching(self, detector, traffic):
+        service = DetectionService(detector, max_batch_size=64, flush_interval=1e9)
+        results = service.submit(traffic)  # 150 records -> two 64-record batches
+        assert [r.size for r in results] == [64, 64]
+        assert service.batcher.pending_count == 22
+        (tail,) = service.flush()
+        assert tail.size == 22
+        assert service.throughput.total_records == len(traffic)
+
+    def test_empty_submission_is_safe(self, detector, traffic):
+        service = DetectionService(detector)
+        assert service.submit(traffic.subset(range(0))) == []
+        assert service.flush() == []
+
+    def test_process_empty_batch_is_safe(self, detector, traffic):
+        service = DetectionService(detector)
+        result = service.process(traffic.subset(range(0)))
+        assert result.size == 0
+        assert result.predictions.shape == (0,)
+
+    def test_monitor_tracks_rolling_quality(self, detector, traffic):
+        service = DetectionService(detector, window=128)
+        service.process(traffic)
+        report = service.report()
+        assert report.records == len(traffic)
+        assert report.rolling is not None
+        assert report.rolling.total == 128  # clipped to the window
