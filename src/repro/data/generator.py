@@ -527,3 +527,55 @@ class TrafficStream:
             ),
         ]
         return cls(generator, phases, batch_size=batch_size, seed=seed)
+
+    @classmethod
+    def probe_sweep_scenario(
+        cls,
+        generator: TrafficGenerator,
+        batch_size: int = 64,
+        seed: int = 0,
+        probe_class: Optional[str] = None,
+        baseline_batches: int = 4,
+        sweep_batches: int = 8,
+        scan_batches: int = 3,
+        sweep_fraction: float = 0.15,
+        scan_fraction: float = 0.5,
+    ) -> "TrafficStream":
+        """Preset scenario: low-and-slow reconnaissance instead of a flood.
+
+        Mirrors the scanning half of the dpdk_100g attack taxonomy: a long
+        *horizontal sweep* ramps probe traffic in gradually at a low rate
+        (the low-and-slow pattern volumetric thresholds miss), a short
+        *vertical scan* burst concentrates it, and a final *family-mix*
+        phase pairs the probe class with a secondary attack family — the
+        workload that exercises per-class-family shard routing, since no
+        single-family shard sees the whole picture.
+        """
+        schema = generator.schema
+        normal = schema.normal_class
+        attacks = schema.attack_classes
+        if probe_class is None:
+            preferred = [c for c in ("probe", "reconnaissance", "analysis") if c in attacks]
+            probe_class = preferred[0] if preferred else attacks[0]
+        if probe_class not in attacks:
+            raise ValueError(
+                f"unknown probe class {probe_class!r}; choices: {attacks}"
+            )
+        secondary = [name for name in attacks if name != probe_class]
+        benign = {normal: 1.0}
+        sweep = {normal: 1.0 - sweep_fraction, probe_class: sweep_fraction}
+        scan = {normal: 1.0 - scan_fraction, probe_class: scan_fraction}
+        family_mix = {
+            normal: 0.6,
+            probe_class: 0.4 * (0.5 if secondary else 1.0),
+        }
+        if secondary:
+            family_mix[secondary[0]] = 0.2
+        phases = [
+            StreamPhase("benign-baseline", baseline_batches, benign),
+            StreamPhase("horizontal-sweep", sweep_batches, benign, end_mix=sweep),
+            StreamPhase("vertical-scan", scan_batches, scan),
+            StreamPhase("quiet", max(baseline_batches // 2, 1), benign),
+            StreamPhase("family-mix", scan_batches, family_mix),
+        ]
+        return cls(generator, phases, batch_size=batch_size, seed=seed)

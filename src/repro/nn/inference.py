@@ -23,11 +23,28 @@ The fast-path contract:
 
 Layers without a specialised ``fast_call`` transparently fall back to the
 tape path under ``no_grad``, so custom layers keep working.
+
+Derived-constant caching
+------------------------
+
+Some fast kernels use constants *derived* from the weights — batch
+normalization folds ``(gamma, beta, moving_mean, moving_variance)`` into a
+single scale and shift.  Re-deriving them on every batch is wasted work in a
+serving loop where the weights never change between requests.  The module
+keeps a global, monotonically increasing **weights epoch**; layers cache
+their derived constants tagged with the epoch and recompute only after the
+epoch moves.  Everything that mutates weights bumps it:
+:meth:`repro.nn.optimizers.Optimizer.step`, :meth:`repro.nn.layers.base.Layer.set_weights`
+and the training-mode batch-norm forward (which updates the moving
+statistics).  The counter is process-global and only ever increments, so
+concurrent serving workers at worst recompute once — never serve stale
+constants after training resumed.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Union
+import threading
+from typing import Callable, Optional, Tuple, Union
 
 import numpy as np
 
@@ -40,7 +57,35 @@ __all__ = [
     "raw_conv1d",
     "raw_max_pool1d",
     "raw_batch_norm",
+    "fold_batch_norm",
+    "weights_epoch",
+    "invalidate_weight_caches",
 ]
+
+
+# ---------------------------------------------------------------------- #
+# Weights epoch — invalidation for cached derived constants
+# ---------------------------------------------------------------------- #
+_weights_epoch = 0
+_weights_epoch_lock = threading.Lock()
+
+
+def weights_epoch() -> int:
+    """Current weights epoch; caches tagged with an older value are stale."""
+    return _weights_epoch
+
+
+def invalidate_weight_caches() -> int:
+    """Bump the weights epoch and return it.
+
+    Called by every code path that mutates network weights (optimizer steps,
+    weight loading, training-mode batch-norm statistics updates) so that the
+    fast path's cached derived constants are re-derived on the next batch.
+    """
+    global _weights_epoch
+    with _weights_epoch_lock:
+        _weights_epoch += 1
+        return _weights_epoch
 
 
 # ---------------------------------------------------------------------- #
@@ -209,6 +254,23 @@ def raw_max_pool1d(
     return windows.max(axis=2)
 
 
+def fold_batch_norm(
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    mean: np.ndarray,
+    variance: np.ndarray,
+    epsilon: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fold inference-mode batch norm into ``(scale, shift)``.
+
+    ``BN(x) == x * scale + shift`` exactly; layers cache the pair tagged with
+    :func:`weights_epoch` so the square root is paid once per weight state
+    instead of once per served batch.
+    """
+    scale = gamma / np.sqrt(variance + epsilon)
+    return scale, beta - mean * scale
+
+
 def raw_batch_norm(
     x: np.ndarray,
     gamma: np.ndarray,
@@ -218,5 +280,5 @@ def raw_batch_norm(
     epsilon: float,
 ) -> np.ndarray:
     """Inference-mode batch norm folded into one scale and one shift."""
-    scale = gamma / np.sqrt(variance + epsilon)
-    return x * scale + (beta - mean * scale)
+    scale, shift = fold_batch_norm(gamma, beta, mean, variance, epsilon)
+    return x * scale + shift

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..inference import invalidate_weight_caches
 from ..initializers import Initializer, get_initializer
 from ..random import spawn_rng
 from ..tensor import Tensor, as_tensor, no_grad
@@ -176,6 +177,8 @@ class Layer:
                 )
             parameter.data = value.copy()
             consumed += 1
+        if consumed:
+            invalidate_weight_caches()
         for sublayer in self._sublayers:
             consumed += sublayer.set_weights(weights[consumed:])
         return consumed

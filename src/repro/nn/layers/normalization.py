@@ -12,7 +12,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from .. import tensor as ops
-from ..inference import raw_batch_norm
+from ..inference import fold_batch_norm, invalidate_weight_caches, weights_epoch
 from ..tensor import Tensor
 from .base import Layer
 
@@ -50,6 +50,8 @@ class BatchNormalization(Layer):
         self.epsilon = float(epsilon)
         self.gamma: Optional[Tensor] = None
         self.beta: Optional[Tensor] = None
+        # (weights epoch, scale, shift) — see repro.nn.inference.
+        self._folded: Optional[Tuple[int, np.ndarray, np.ndarray]] = None
 
     def build(self, input_shape: Tuple[int, ...]) -> None:
         channels = input_shape[-1]
@@ -78,6 +80,8 @@ class BatchNormalization(Layer):
                 self.momentum * self._buffers["moving_variance"]
                 + (1.0 - self.momentum) * batch_variance
             )
+            # The moving statistics feed the fast path's folded constants.
+            invalidate_weight_caches()
             # Normalisation must participate in the autodiff graph, so the
             # statistics are recomputed with tensor ops here.
             mean = ops.reduce_mean(inputs, axis=reduce_axes, keepdims=True)
@@ -90,12 +94,28 @@ class BatchNormalization(Layer):
             normalized = (inputs - mean) * ((variance + self.epsilon) ** -0.5)
         return normalized * self.gamma + self.beta
 
+    def folded_constants(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached ``(scale, shift)`` of the inference-mode normalization.
+
+        Re-derived only when the global weights epoch has moved since the
+        last call (optimizer step, weight load, training-mode statistics
+        update).  Concurrent callers may race to recompute, but the result
+        is identical either way, so the worst case is duplicated work.
+        """
+        epoch = weights_epoch()
+        folded = self._folded
+        if folded is None or folded[0] != epoch:
+            scale, shift = fold_batch_norm(
+                self.gamma.data,
+                self.beta.data,
+                self._buffers["moving_mean"],
+                self._buffers["moving_variance"],
+                self.epsilon,
+            )
+            folded = (epoch, scale, shift)
+            self._folded = folded
+        return folded[1], folded[2]
+
     def fast_call(self, inputs: np.ndarray) -> np.ndarray:
-        return raw_batch_norm(
-            inputs,
-            self.gamma.data,
-            self.beta.data,
-            self._buffers["moving_mean"],
-            self._buffers["moving_variance"],
-            self.epsilon,
-        )
+        scale, shift = self.folded_constants()
+        return inputs * scale + shift

@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List, Optional, Union
 
 import numpy as np
 
+from .inference import invalidate_weight_caches
 from .tensor import Tensor
 
 __all__ = [
@@ -79,6 +80,9 @@ class Optimizer:
                 continue
             self._update(parameter)
         self.iterations += 1
+        # The weights changed: constants the inference fast path derived from
+        # them (folded batch norm) must be recomputed on the next batch.
+        invalidate_weight_caches()
 
     def zero_grad(self, parameters: Iterable[Tensor]) -> None:
         """Clear the gradients of all parameters."""

@@ -17,6 +17,7 @@ into a broadcast input are summed back down to the input's original shape by
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -66,26 +67,34 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
-class _GradMode:
-    """Global switch used by :func:`no_grad` to disable tape recording."""
+class _GradMode(threading.local):
+    """Per-thread switch used by :func:`no_grad` to disable tape recording.
+
+    Thread-local so that concurrent inference threads (the serving worker
+    pool) entering and leaving ``no_grad`` at different times cannot
+    re-enable taping — or leave it disabled — for each other.
+    """
 
     enabled = True
+
+
+_grad_mode = _GradMode()
 
 
 class no_grad:
     """Context manager that disables gradient recording.
 
     Useful for inference passes (``model.predict``) where building the
-    backward graph would only waste memory.
+    backward graph would only waste memory.  The switch is per-thread.
     """
 
     def __enter__(self) -> "no_grad":
-        self._previous = _GradMode.enabled
-        _GradMode.enabled = False
+        self._previous = _grad_mode.enabled
+        _grad_mode.enabled = False
         return self
 
     def __exit__(self, *exc_info) -> None:
-        _GradMode.enabled = self._previous
+        _grad_mode.enabled = self._previous
 
 
 class Tensor:
@@ -318,7 +327,7 @@ def _make_result(
 ) -> Tensor:
     """Build an op result tensor, attaching the tape entry when recording."""
     result = Tensor(data)
-    if _GradMode.enabled and any(p.requires_grad or p._parents for p in parents):
+    if _grad_mode.enabled and any(p.requires_grad or p._parents for p in parents):
         result._parents = parents
         result._backward = backward
         result.requires_grad = any(p.requires_grad for p in parents)

@@ -1,26 +1,60 @@
 """``repro.serving`` — the streaming detection service.
 
-Turns a fitted :class:`~repro.core.detector.PelicanDetector` into a
-continuously-running scorer for traffic streams.  The subsystem is built
-from three pieces, each independently testable:
+Turns fitted :class:`~repro.core.detector.PelicanDetector` instances into a
+continuously-running scorer for traffic streams.  The request path is built
+from three independently testable pieces:
 
 * :class:`MicroBatcher` (:mod:`repro.serving.batching`) — size/age-triggered
-  micro-batching of incoming records;
+  micro-batching of incoming records, with per-submission arrival stamps so
+  the age trigger always measures from the true oldest pending record;
 * :class:`CachedPreprocessor` + :class:`DetectionService`
-  (:mod:`repro.serving.service`) — cached, vectorised preprocessing and the
-  graph-free ``fast=True`` forward pass, with per-batch latency accounting;
+  (:mod:`repro.serving.service`) — cached, vectorised preprocessing (with
+  per-column unknown-vocabulary drift counters) and the graph-free
+  ``fast=True`` forward pass, with per-batch latency accounting;
 * :class:`RollingDetectionMonitor` / :class:`ThroughputMonitor`
-  (:mod:`repro.serving.monitor`) — sliding-window ACC/DR/FAR plus
-  records-per-second headline numbers.
+  (:mod:`repro.serving.monitor`) — thread-safe sliding-window ACC/DR/FAR
+  plus a records-per-second headline computed over the wall-clock busy
+  span, so overlapping concurrent batches are not double-counted.
 
-Workloads come from :class:`repro.data.TrafficStream`, the episodic
-benign/flood/drift scenario driver.  See ``examples/streaming_detection.py``
-for the end-to-end wiring.
+Three execution models run on that path:
+
+* **Synchronous** — :class:`DetectionService` alone.  ``submit``/``poll``/
+  ``flush`` score on the calling thread; the age trigger fires on the next
+  call.  Results, monitor updates and phase attribution all happen in
+  submission order.
+* **Worker pool** — :class:`WorkerPool` (:mod:`repro.serving.workers`)
+  wraps a service: micro-batches are scored concurrently on a thread pool
+  and the age trigger fires on a background timer.  Scoring completes out
+  of order, but a reorder buffer commits monitor updates and phase
+  attribution strictly in submission order, so every report is
+  record-for-record identical to the synchronous run — only the wall-clock
+  numbers change.
+* **Sharded** — :class:`ShardRouter` + :class:`ShardedDetectionService`
+  (:mod:`repro.serving.sharding`) fan one stream out across several fitted
+  detectors (replicas, one per dataset, or one per class family) and merge
+  the per-shard rolling/per-phase/throughput reports into one
+  :class:`ServiceReport`.  Records are partitioned, never duplicated;
+  within a shard the chosen execution model's ordering guarantee applies,
+  and with replica routing the merged confusion counts equal the
+  single-service run on the same stream.
+
+Workloads come from :class:`repro.data.TrafficStream` — the episodic
+flood/drift scenario driver plus the low-and-slow ``probe_sweep_scenario``
+— and ``examples/streaming_detection.py`` / ``examples/concurrent_serving.py``
+show the end-to-end wiring.
 """
 
 from .batching import MicroBatcher
 from .monitor import RollingDetectionMonitor, ThroughputMonitor
-from .service import BatchResult, CachedPreprocessor, DetectionService, ServiceReport
+from .service import (
+    BatchResult,
+    CachedPreprocessor,
+    DetectionService,
+    PhaseAttributor,
+    ServiceReport,
+)
+from .sharding import ShardedDetectionService, ShardRouter
+from .workers import WorkerPool
 
 __all__ = [
     "MicroBatcher",
@@ -28,6 +62,10 @@ __all__ = [
     "ThroughputMonitor",
     "CachedPreprocessor",
     "DetectionService",
+    "PhaseAttributor",
     "BatchResult",
     "ServiceReport",
+    "WorkerPool",
+    "ShardRouter",
+    "ShardedDetectionService",
 ]

@@ -9,16 +9,25 @@ batches under the classic two-trigger policy:
   exactly that size is released (splitting submissions when needed);
 * **age** — records never wait longer than ``flush_interval`` seconds; a
   partial batch whose oldest record has exceeded the interval is released
-  on the next :meth:`submit` / :meth:`poll`.
+  on the next :meth:`submit` / :meth:`poll` (or by the
+  :class:`~repro.serving.workers.WorkerPool` background timer, which polls
+  on a schedule instead of waiting for traffic).
 
-The clock is injectable so tests (and deterministic replays) can drive the
-age trigger without sleeping.
+Each submission is stamped with its arrival time and the stamp travels with
+the records — including the left-behind tail when a size-triggered drain
+splits a submission — so the age trigger always measures from the true
+oldest pending record.  The clock is injectable so tests (and deterministic
+replays) can drive the age trigger without sleeping.
+
+The batcher itself is not thread-safe; concurrent callers (the worker
+pool's submitters and its age-trigger timer) serialise access through a
+lock of their own.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from ..data.dataset import TrafficRecords
 
@@ -54,9 +63,9 @@ class MicroBatcher:
         self.max_batch_size = int(max_batch_size)
         self.flush_interval = float(flush_interval)
         self.clock = clock
-        self._pending: List[TrafficRecords] = []
+        # FIFO of (arrival time, records); split tails keep their stamp.
+        self._pending: List[Tuple[float, TrafficRecords]] = []
         self._pending_count = 0
-        self._oldest: Optional[float] = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -64,23 +73,29 @@ class MicroBatcher:
         """Number of records currently buffered."""
         return self._pending_count
 
+    @property
+    def oldest_arrival(self) -> Optional[float]:
+        """Arrival time of the oldest buffered record (None when empty)."""
+        return self._pending[0][0] if self._pending else None
+
     def _drain(self, count: int) -> TrafficRecords:
         """Remove and return exactly ``count`` pending records (FIFO order)."""
         taken: List[TrafficRecords] = []
         remaining = count
         while remaining > 0:
-            part = self._pending[0]
+            arrival, part = self._pending[0]
             if len(part) <= remaining:
                 taken.append(part)
                 remaining -= len(part)
                 self._pending.pop(0)
             else:
                 taken.append(part.subset(range(remaining)))
-                self._pending[0] = part.subset(range(remaining, len(part)))
+                # The tail keeps its original arrival stamp: a size-triggered
+                # drain must not restart the age clock for records that are
+                # still waiting.
+                self._pending[0] = (arrival, part.subset(range(remaining, len(part))))
                 remaining = 0
         self._pending_count -= count
-        if self._pending_count == 0:
-            self._oldest = None
         return taken[0] if len(taken) == 1 else TrafficRecords.concatenate(taken)
 
     def submit(self, records: TrafficRecords) -> List[TrafficRecords]:
@@ -92,15 +107,11 @@ class MicroBatcher:
         when the oldest pending record has waited past ``flush_interval``.
         """
         if len(records) > 0:
-            self._pending.append(records)
+            self._pending.append((self.clock(), records))
             self._pending_count += len(records)
-            if self._oldest is None:
-                self._oldest = self.clock()
         ready: List[TrafficRecords] = []
         while self._pending_count >= self.max_batch_size:
             ready.append(self._drain(self.max_batch_size))
-            if self._pending_count > 0:
-                self._oldest = self.clock()
         overdue = self.poll()
         if overdue is not None:
             ready.append(overdue)
@@ -108,11 +119,8 @@ class MicroBatcher:
 
     def poll(self) -> Optional[TrafficRecords]:
         """Release the pending partial batch if it is past the age trigger."""
-        if (
-            self._pending_count > 0
-            and self._oldest is not None
-            and self.clock() - self._oldest >= self.flush_interval
-        ):
+        oldest = self.oldest_arrival
+        if oldest is not None and self.clock() - oldest >= self.flush_interval:
             return self._drain(self._pending_count)
         return None
 

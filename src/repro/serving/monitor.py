@@ -6,12 +6,35 @@ drift show up in the numbers within a window's worth of traffic instead of
 being averaged away.  :class:`ThroughputMonitor` aggregates per-batch
 latency into the serving headline numbers (records/s, mean and p95 batch
 latency).
+
+Both monitors are thread-safe: every mutation and every read of derived
+state happens under an internal lock, so the worker pool's scoring threads
+can update them concurrently with a reader polling :meth:`report` /
+:meth:`snapshot`.
+
+Throughput accounting distinguishes three time totals:
+
+* ``total_time`` — the *summed* per-batch latencies.  On a single thread
+  this is the service's busy time, but as soon as batches overlap on
+  concurrent workers the sum double-counts wall-clock time and dividing by
+  it understates throughput.
+* ``busy_time`` — the overlap-merged union of the batch scoring intervals:
+  equal to ``total_time`` while batches never overlap, smaller once
+  concurrent workers score simultaneously, and — unlike a first-to-last
+  span — free of the idle gaps between batches, so a long-lived service
+  with sporadic traffic is not diluted towards records-per-uptime.
+  ``records / busy_time`` is the records-per-second headline.
+* ``busy_span`` — the wall-clock distance from the start of the earliest
+  batch to the end of the latest one (busy and idle alike), kept for
+  wall-time introspection.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from collections import deque
-from typing import Deque, Dict, Optional
+from typing import Callable, Deque, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -37,6 +60,7 @@ class RollingDetectionMonitor:
             raise ValueError("window must be positive")
         self.normal_index = int(normal_index)
         self.window = int(window)
+        self._lock = threading.Lock()
         self._true: Deque[int] = deque(maxlen=window)
         self._predicted: Deque[int] = deque(maxlen=window)
         self._seen = 0
@@ -44,12 +68,14 @@ class RollingDetectionMonitor:
     @property
     def seen(self) -> int:
         """Total number of records ever observed (not just the window)."""
-        return self._seen
+        with self._lock:
+            return self._seen
 
     @property
     def current_size(self) -> int:
         """Number of records currently inside the window."""
-        return len(self._true)
+        with self._lock:
+            return len(self._true)
 
     def update(self, true_classes: np.ndarray, predicted_classes: np.ndarray) -> None:
         """Append a batch of (true, predicted) multi-class labels."""
@@ -59,19 +85,19 @@ class RollingDetectionMonitor:
             raise ValueError(
                 "true and predicted label arrays must have the same shape"
             )
-        self._true.extend(true_classes.tolist())
-        self._predicted.extend(predicted_classes.tolist())
-        self._seen += len(true_classes)
+        with self._lock:
+            self._true.extend(true_classes.tolist())
+            self._predicted.extend(predicted_classes.tolist())
+            self._seen += len(true_classes)
 
     def report(self) -> Optional[DetectionReport]:
         """ACC/DR/FAR over the window, or None before any traffic arrived."""
-        if not self._true:
-            return None
-        return evaluate_detection(
-            np.fromiter(self._true, dtype=np.int64),
-            np.fromiter(self._predicted, dtype=np.int64),
-            self.normal_index,
-        )
+        with self._lock:
+            if not self._true:
+                return None
+            true_window = np.fromiter(self._true, dtype=np.int64)
+            predicted_window = np.fromiter(self._predicted, dtype=np.int64)
+        return evaluate_detection(true_window, predicted_window, self.normal_index)
 
 
 class ThroughputMonitor:
@@ -81,64 +107,163 @@ class ThroughputMonitor:
     service's whole lifetime; the latency distribution (mean/p95) is kept
     over a bounded window of the most recent batches so a long-lived service
     neither grows without bound nor averages incidents away.
+
+    Parameters
+    ----------
+    window:
+        Number of most-recent batch latencies kept for the mean/p95 stats.
+    clock:
+        Injectable time source; must be the same clock that produced the
+        latencies (the service passes its own), so the busy span and the
+        per-batch latencies live on one timeline.
     """
 
-    def __init__(self, window: int = 1024) -> None:
+    def __init__(
+        self, window: int = 1024, clock: Callable[[], float] = time.monotonic
+    ) -> None:
         if window <= 0:
             raise ValueError("window must be positive")
         self.window = int(window)
+        self.clock = clock
+        self._lock = threading.Lock()
         self._recent_latencies: Deque[float] = deque(maxlen=window)
         self._total_batches = 0
         self._total_records = 0
         self._total_time = 0.0
+        self._busy_time = 0.0
+        # High-water mark of batch end times for the overlap merge.
+        self._covered_until: Optional[float] = None
+        self._span_start: Optional[float] = None
+        self._span_end: Optional[float] = None
 
-    def update(self, batch_size: int, latency: float) -> None:
+    def update(
+        self, batch_size: int, latency: float, end_time: Optional[float] = None
+    ) -> None:
+        """Record one processed batch.
+
+        ``end_time`` is the clock reading when the batch finished; it
+        defaults to "now" but concurrent callers that commit results after
+        the fact (the worker pool's reorder buffer) pass the measured value
+        so the busy span reflects when the work actually ran.
+        """
         if batch_size < 0 or latency < 0:
             raise ValueError("batch_size and latency must be non-negative")
-        self._total_batches += 1
-        self._total_records += int(batch_size)
-        self._total_time += float(latency)
-        self._recent_latencies.append(float(latency))
+        end = float(end_time) if end_time is not None else self.clock()
+        start = end - float(latency)
+        with self._lock:
+            self._total_batches += 1
+            self._total_records += int(batch_size)
+            self._total_time += float(latency)
+            self._recent_latencies.append(float(latency))
+            # Merge [start, end] into the covered busy time.  Batches arrive
+            # (commit) in near-end-time order, so clipping against the
+            # high-water mark computes the interval union; a straggler fully
+            # behind the mark contributes nothing — an undercount, never a
+            # double count.
+            covered = self._covered_until
+            if covered is None or end > covered:
+                self._busy_time += end - (start if covered is None else max(start, covered))
+                self._covered_until = end
+            if self._span_start is None or start < self._span_start:
+                self._span_start = start
+            if self._span_end is None or end > self._span_end:
+                self._span_end = end
 
     @property
     def total_batches(self) -> int:
-        return self._total_batches
+        with self._lock:
+            return self._total_batches
 
     @property
     def total_records(self) -> int:
-        return self._total_records
+        with self._lock:
+            return self._total_records
 
     @property
     def total_time(self) -> float:
         """Summed in-service processing time across all batches."""
-        return self._total_time
+        with self._lock:
+            return self._total_time
 
-    @property
-    def throughput(self) -> float:
-        """Records per second of processing time (0.0 before any batch)."""
-        return self._total_records / self._total_time if self._total_time > 0 else 0.0
+    # Locked helpers: one formula each, shared by the properties and the
+    # consistent-snapshot path (caller holds self._lock).
+    def _busy_span_locked(self) -> float:
+        if self._span_start is None or self._span_end is None:
+            return 0.0
+        return max(self._span_end - self._span_start, 0.0)
 
-    @property
-    def mean_latency(self) -> float:
-        """Mean batch latency over the recent window."""
+    def _throughput_locked(self) -> float:
+        if self._busy_time > 0:
+            return self._total_records / self._busy_time
+        if self._total_time > 0:
+            return self._total_records / self._total_time
+        return 0.0
+
+    def _mean_latency_locked(self) -> float:
         if not self._recent_latencies:
             return 0.0
         return float(np.mean(self._recent_latencies))
 
-    @property
-    def p95_latency(self) -> float:
-        """95th-percentile batch latency over the recent window."""
+    def _p95_latency_locked(self) -> float:
         if not self._recent_latencies:
             return 0.0
         return float(np.percentile(self._recent_latencies, 95))
 
+    @property
+    def busy_span(self) -> float:
+        """Wall-clock span from the earliest batch start to the latest end."""
+        with self._lock:
+            return self._busy_span_locked()
+
+    @property
+    def busy_time(self) -> float:
+        """Overlap-merged union of the batch scoring intervals."""
+        with self._lock:
+            return self._busy_time
+
+    @property
+    def throughput(self) -> float:
+        """Records per second of busy time (0.0 before any batch).
+
+        Falls back to the summed-latency total when the merged busy time is
+        degenerate (instantaneous batches under a frozen test clock).
+        """
+        with self._lock:
+            return self._throughput_locked()
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean batch latency over the recent window."""
+        with self._lock:
+            return self._mean_latency_locked()
+
+    @property
+    def p95_latency(self) -> float:
+        """95th-percentile batch latency over the recent window."""
+        with self._lock:
+            return self._p95_latency_locked()
+
+    @property
+    def recent_latencies(self) -> Tuple[float, ...]:
+        """The windowed latency samples (for merging shard distributions)."""
+        with self._lock:
+            return tuple(self._recent_latencies)
+
     def snapshot(self) -> Dict[str, float]:
-        """Headline numbers as a plain dict (for logs and benchmark JSON)."""
-        return {
-            "batches": float(self.total_batches),
-            "records": float(self.total_records),
-            "total_time_s": self.total_time,
-            "throughput_rps": self.throughput,
-            "mean_latency_s": self.mean_latency,
-            "p95_latency_s": self.p95_latency,
-        }
+        """Headline numbers as one *consistent* dict (logs, benchmark JSON).
+
+        Computed under a single lock acquisition, so concurrent updates
+        cannot tear the row (e.g. a record count that already includes a
+        batch whose latency the throughput does not).
+        """
+        with self._lock:
+            return {
+                "batches": float(self._total_batches),
+                "records": float(self._total_records),
+                "total_time_s": self._total_time,
+                "busy_time_s": self._busy_time,
+                "busy_span_s": self._busy_span_locked(),
+                "throughput_rps": self._throughput_locked(),
+                "mean_latency_s": self._mean_latency_locked(),
+                "p95_latency_s": self._p95_latency_locked(),
+            }

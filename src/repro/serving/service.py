@@ -11,22 +11,38 @@ Architecture (one request path, three stages):
    scaler into a single multiply-add, replacing the per-record Python loops
    of the training-time :class:`~repro.preprocessing.pipeline.IDSPreprocessor`
    with vectorised lookups.  Numerics match the training pipeline to
-   float64 round-off.
+   float64 round-off.  Categorical values missing from the training
+   vocabulary are zero-encoded *and counted* per column — vocabulary drift
+   is surfaced in every :class:`ServiceReport` instead of being swallowed.
 3. **Graph-free inference** — the batch runs through
    ``Model.predict(..., fast=True)`` (see :mod:`repro.nn.inference`), and
    every batch updates a rolling ACC/DR/FAR monitor plus per-batch
    latency/throughput accounting.
 
-The service is synchronous by design for this first cut; async workers and
-multi-detector sharding are tracked as ROADMAP open items.
+Execution models on top of this path:
+
+* **synchronous** (this module) — :meth:`DetectionService.submit` /
+  :meth:`~DetectionService.poll` / :meth:`~DetectionService.flush` run
+  everything on the calling thread;
+* **worker pool** (:mod:`repro.serving.workers`) — scoring fans out to a
+  thread pool, monitor updates commit in submission order;
+* **sharded** (:mod:`repro.serving.sharding`) — a router fans records out
+  across several services (replicas or heterogeneous detectors) and their
+  reports merge back into one.
+
+The scoring path is split so those models compose: :meth:`DetectionService.score`
+is pure (thread-safe, no monitor writes) and :meth:`DetectionService.observe`
+applies a result to the monitors; :meth:`DetectionService.process` is simply
+one followed by the other.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -38,7 +54,13 @@ from ..preprocessing.pipeline import IDSPreprocessor
 from .batching import MicroBatcher
 from .monitor import RollingDetectionMonitor, ThroughputMonitor
 
-__all__ = ["CachedPreprocessor", "BatchResult", "ServiceReport", "DetectionService"]
+__all__ = [
+    "CachedPreprocessor",
+    "BatchResult",
+    "ServiceReport",
+    "PhaseAttributor",
+    "DetectionService",
+]
 
 
 class CachedPreprocessor:
@@ -49,6 +71,11 @@ class CachedPreprocessor:
     folded scaler coefficients and the label mapping.  The per-batch work is
     then one dict lookup per categorical value and a single fused
     multiply-add over the feature matrix.
+
+    Categorical values outside the training vocabulary cannot be one-hot
+    encoded; they contribute an all-zero block (the same behaviour the
+    training pipeline has for unseen values) and are tallied per column in
+    :attr:`unknown_categoricals` so the drift is visible to operators.
     """
 
     def __init__(self, preprocessor: IDSPreprocessor) -> None:
@@ -75,6 +102,16 @@ class CachedPreprocessor:
             name: index for index, name in enumerate(self.class_names)
         }
         self.normal_index = self.class_names.index(self.schema.normal_class)
+        self._unknown_lock = threading.Lock()
+        self._unknown_counts: Dict[str, int] = {
+            name: 0 for name, _, _ in self._categorical_tables
+        }
+
+    @property
+    def unknown_categoricals(self) -> Dict[str, int]:
+        """Per-column tally of values missing from the training vocabulary."""
+        with self._unknown_lock:
+            return dict(self._unknown_counts)
 
     def transform_inputs(self, records: TrafficRecords) -> np.ndarray:
         """Records → network input ``(n, 1, features)`` (fitted statistics)."""
@@ -82,6 +119,7 @@ class CachedPreprocessor:
         features = np.zeros((n_records, self.num_features))
         features[:, : self._n_numeric] = records.numeric
         rows = np.arange(n_records)
+        unknown_per_column: List[Tuple[str, int]] = []
         for name, offset, table in self._categorical_tables:
             positions = np.fromiter(
                 (table.get(str(value), -1) for value in records.categorical[name]),
@@ -89,7 +127,14 @@ class CachedPreprocessor:
                 count=n_records,
             )
             known = positions >= 0
+            n_unknown = n_records - int(known.sum())
+            if n_unknown:
+                unknown_per_column.append((name, n_unknown))
             features[rows[known], offset + positions[known]] = 1.0
+        if unknown_per_column:
+            with self._unknown_lock:
+                for name, n_unknown in unknown_per_column:
+                    self._unknown_counts[name] += n_unknown
         features = features * self._scale_weight + self._scale_shift
         return features[:, np.newaxis, :]
 
@@ -119,6 +164,7 @@ class BatchResult:
     predictions: np.ndarray          # predicted class names
     class_indices: np.ndarray        # predicted integer classes
     true_indices: np.ndarray         # ground-truth integer classes
+    finished: Optional[float] = None  # clock reading when scoring ended
 
 
 @dataclass(frozen=True)
@@ -127,19 +173,84 @@ class ServiceReport:
 
     batches: int
     records: int
-    throughput: float                # records / second of processing time
+    throughput: float                # records / second of merged busy time
     mean_latency: float
     p95_latency: float
     rolling: Optional[DetectionReport]
     phase_reports: Dict[str, DetectionReport] = field(default_factory=dict)
+    # Per categorical column: serve-time values unseen during training.
+    unknown_categoricals: Dict[str, int] = field(default_factory=dict)
+    # Per shard name: the shard's own report (sharded services only).
+    shard_reports: Dict[str, "ServiceReport"] = field(default_factory=dict)
 
     def __str__(self) -> str:
         rolling = f" rolling[{self.rolling}]" if self.rolling else ""
+        unknown = sum(self.unknown_categoricals.values())
+        drift = f" unknown-categoricals={unknown}" if unknown else ""
         return (
             f"ServiceReport(records={self.records}, batches={self.batches}, "
             f"throughput={self.throughput:,.0f} rec/s, "
-            f"p95={self.p95_latency * 1e3:.1f} ms{rolling})"
+            f"p95={self.p95_latency * 1e3:.1f} ms{rolling}{drift})"
         )
+
+
+class PhaseAttributor:
+    """FIFO attribution of served results back to the emitting stream phases.
+
+    The micro-batching queue preserves submission order, so every processed
+    batch corresponds to a contiguous run of previously announced records.
+    Callers announce each stream batch with :meth:`expect` *before*
+    submitting its records and feed every :class:`BatchResult` — in
+    submission order — to :meth:`attribute`; per-phase rolling monitors
+    accumulate the quality breakdown.
+
+    This is the attribution seam shared by all three execution models: the
+    synchronous service calls it inline, the worker pool calls it from its
+    in-order commit hook, and a sharded service keeps one attributor per
+    shard and merges the per-phase reports afterwards.
+    """
+
+    def __init__(self, normal_index: int, window: int = 512) -> None:
+        self.normal_index = int(normal_index)
+        self.window = int(window)
+        # FIFO of [phase name, records still unattributed from that phase].
+        self._queue: Deque[List] = deque()
+        self.monitors: Dict[str, RollingDetectionMonitor] = {}
+
+    def expect(self, phase: str, count: int) -> None:
+        """Announce that ``count`` records of ``phase`` are about to be submitted."""
+        if count > 0:
+            self._queue.append([phase, count])
+
+    def attribute(self, result: BatchResult) -> None:
+        """Attribute one result (in submission order) to its phases."""
+        consumed = 0
+        while consumed < result.size:
+            phase, remaining = self._queue[0]
+            take = min(remaining, result.size - consumed)
+            monitor = self.monitors.setdefault(
+                phase,
+                RollingDetectionMonitor(
+                    normal_index=self.normal_index, window=self.window
+                ),
+            )
+            monitor.update(
+                result.true_indices[consumed:consumed + take],
+                result.class_indices[consumed:consumed + take],
+            )
+            consumed += take
+            if take == remaining:
+                self._queue.popleft()
+            else:
+                self._queue[0][1] = remaining - take
+
+    def reports(self) -> Dict[str, DetectionReport]:
+        """Per-phase detection reports (phases without traffic omitted)."""
+        return {
+            phase: report
+            for phase, monitor in self.monitors.items()
+            if (report := monitor.report()) is not None
+        }
 
 
 class DetectionService:
@@ -185,14 +296,14 @@ class DetectionService:
         self.monitor = RollingDetectionMonitor(
             normal_index=self.pipeline.normal_index, window=window
         )
-        self.throughput = ThroughputMonitor()
+        self.throughput = ThroughputMonitor(clock=clock)
 
     # ------------------------------------------------------------------ #
-    def process(self, records: TrafficRecords) -> BatchResult:
-        """Run one batch through preprocessing + inference immediately.
+    def score(self, records: TrafficRecords) -> BatchResult:
+        """Run preprocessing + inference on one batch, without side effects.
 
-        Bypasses the micro-batching queue; :meth:`submit` is the queued
-        entry point.
+        Thread-safe: touches no monitor state, so the worker pool calls it
+        concurrently and commits the results through :meth:`observe`.
         """
         started = self.clock()
         inputs = self.pipeline.transform_inputs(records)
@@ -200,17 +311,31 @@ class DetectionService:
             inputs, batch_size=max(len(records), 1), fast=self.fast
         )
         predicted = np.argmax(probabilities, axis=-1)
-        latency = self.clock() - started
+        finished = self.clock()
         true_indices = self.pipeline.encode_labels(records)
-        self.monitor.update(true_indices, predicted)
-        self.throughput.update(len(records), latency)
         return BatchResult(
             size=len(records),
-            latency=latency,
+            latency=finished - started,
             predictions=self.pipeline.decode_labels(predicted),
             class_indices=predicted,
             true_indices=true_indices,
+            finished=finished,
         )
+
+    def observe(self, result: BatchResult) -> None:
+        """Fold one scored batch into the rolling and throughput monitors."""
+        self.monitor.update(result.true_indices, result.class_indices)
+        self.throughput.update(result.size, result.latency, end_time=result.finished)
+
+    def process(self, records: TrafficRecords) -> BatchResult:
+        """Run one batch through preprocessing + inference immediately.
+
+        Bypasses the micro-batching queue; :meth:`submit` is the queued
+        entry point.
+        """
+        result = self.score(records)
+        self.observe(result)
+        return result
 
     def submit(self, records: TrafficRecords) -> List[BatchResult]:
         """Enqueue records; process and return whatever batches became due."""
@@ -228,13 +353,15 @@ class DetectionService:
 
     def report(self) -> ServiceReport:
         """Current rolling quality + throughput summary."""
+        stats = self.throughput.snapshot()  # one lock: a consistent row
         return ServiceReport(
-            batches=self.throughput.total_batches,
-            records=self.throughput.total_records,
-            throughput=self.throughput.throughput,
-            mean_latency=self.throughput.mean_latency,
-            p95_latency=self.throughput.p95_latency,
+            batches=int(stats["batches"]),
+            records=int(stats["records"]),
+            throughput=stats["throughput_rps"],
+            mean_latency=stats["mean_latency_s"],
+            p95_latency=stats["p95_latency_s"],
             rolling=self.monitor.report(),
+            unknown_categoricals=self.pipeline.unknown_categoricals,
         )
 
     # ------------------------------------------------------------------ #
@@ -249,50 +376,25 @@ class DetectionService:
         flush drains the tail.  Because the queue preserves submission
         order, results can be attributed back to the emitting phase, giving
         the per-phase ACC/DR/FAR breakdown in the returned report.
+
+        Records already queued when the stream starts belong to no phase:
+        they are flushed through (scored and counted in the rolling
+        monitors) before attribution begins, so the per-phase breakdown
+        covers exactly the stream's records.
         """
-        phase_monitors: Dict[str, RollingDetectionMonitor] = {}
-        # FIFO of (phase name, records still unattributed from that phase).
-        attribution: deque = deque()
-
-        def attribute(result: BatchResult) -> None:
-            consumed = 0
-            while consumed < result.size:
-                phase, remaining = attribution[0]
-                take = min(remaining, result.size - consumed)
-                monitor = phase_monitors.setdefault(
-                    phase,
-                    RollingDetectionMonitor(
-                        normal_index=self.pipeline.normal_index,
-                        window=self.monitor.window,
-                    ),
-                )
-                monitor.update(
-                    result.true_indices[consumed:consumed + take],
-                    result.class_indices[consumed:consumed + take],
-                )
-                consumed += take
-                if take == remaining:
-                    attribution.popleft()
-                else:
-                    attribution[0] = (phase, remaining - take)
-
+        self.flush()
+        attributor = PhaseAttributor(
+            normal_index=self.pipeline.normal_index, window=self.monitor.window
+        )
         served = 0
         for stream_batch in stream:
             if max_batches is not None and served >= max_batches:
                 break
-            if len(stream_batch.records) > 0:
-                attribution.append((stream_batch.phase, len(stream_batch.records)))
+            attributor.expect(stream_batch.phase, len(stream_batch.records))
             for result in self.submit(stream_batch.records):
-                attribute(result)
+                attributor.attribute(result)
             served += 1
         for result in self.flush():
-            attribute(result)
+            attributor.attribute(result)
 
-        return replace(
-            self.report(),
-            phase_reports={
-                phase: report
-                for phase, monitor in phase_monitors.items()
-                if (report := monitor.report()) is not None
-            },
-        )
+        return replace(self.report(), phase_reports=attributor.reports())

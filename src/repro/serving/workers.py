@@ -1,0 +1,355 @@
+"""Worker-pool execution for the detection service.
+
+:class:`WorkerPool` turns a synchronous
+:class:`~repro.serving.service.DetectionService` into a concurrent one:
+
+* micro-batches released by the service's :class:`~repro.serving.batching.MicroBatcher`
+  are **scored on a thread pool** (``DetectionService.score`` is pure, so
+  any number of workers can run it at once — numpy releases the GIL inside
+  the heavy kernels);
+* the **age trigger fires on a background timer** that polls the batcher on
+  a schedule, so a lull in traffic can no longer strand a partial batch
+  until the next ``submit``/``poll`` call;
+* monitor updates stay **deterministic**: scored batches pass through a
+  reorder buffer and are committed — rolling quality, throughput, phase
+  attribution — strictly in submission order.
+
+Ordering guarantee: every report produced through a worker pool is
+record-for-record identical to the report of a synchronous run over the
+same stream; only the wall-clock numbers differ.  The throughput headline
+reflects the concurrency because :class:`~repro.serving.monitor.ThroughputMonitor`
+divides by the overlap-merged busy time, under which simultaneous batches
+share wall-clock seconds instead of stacking their latencies.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..data.dataset import TrafficRecords
+from ..data.generator import StreamBatch
+from .service import BatchResult, DetectionService, PhaseAttributor, ServiceReport
+
+__all__ = ["WorkerPool"]
+
+
+class WorkerPool:
+    """Concurrent scoring mode for a :class:`DetectionService`.
+
+    Use as a context manager (or call :meth:`start`/:meth:`close`)::
+
+        with WorkerPool(service, num_workers=4) as pool:
+            report = pool.run_stream(stream)
+
+    Parameters
+    ----------
+    service:
+        The wrapped synchronous service.  Its batcher, monitors and
+        preprocessing pipeline are shared; the pool only changes *where*
+        scoring runs and *when* the age trigger fires.
+    num_workers:
+        Number of scoring threads.
+    timer_interval:
+        Period of the background age-trigger timer.  Defaults to half the
+        batcher's flush interval (at least 1 ms); pass ``0`` to disable the
+        timer, in which case age triggers fire only inside
+        :meth:`submit`/:meth:`poll`, like the synchronous service.
+    result_callback:
+        Optional hook invoked with every committed :class:`BatchResult`,
+        in submission order.  When set, results are delivered to the
+        callback instead of accumulating for :meth:`collect`.
+    """
+
+    def __init__(
+        self,
+        service: DetectionService,
+        num_workers: int = 4,
+        timer_interval: Optional[float] = None,
+        result_callback: Optional[Callable[[BatchResult], None]] = None,
+    ) -> None:
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        self.service = service
+        self.num_workers = int(num_workers)
+        if timer_interval is None:
+            timer_interval = max(service.batcher.flush_interval / 2.0, 0.001)
+        if timer_interval < 0:
+            raise ValueError("timer_interval must be non-negative")
+        self.timer_interval = float(timer_interval)
+        # _submit_lock serialises batcher access and sequence assignment, so
+        # sequence order == FIFO drain order.  _commit_cond guards the
+        # reorder buffer; workers commit under it and waiters block on it.
+        self._submit_lock = threading.Lock()
+        self._commit_cond = threading.Condition()
+        self._next_sequence = 0
+        self._next_commit = 0
+        self._out_of_order: Dict[int, Optional[BatchResult]] = {}
+        self._committed: List[BatchResult] = []
+        self._result_callback = result_callback
+        self._errors: List[BaseException] = []
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._timer: Optional[threading.Thread] = None
+        self._shutdown = threading.Event()
+        self._streaming = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def running(self) -> bool:
+        return self._executor is not None
+
+    def start(self) -> "WorkerPool":
+        """Start the scoring threads and the age-trigger timer (idempotent)."""
+        if self._executor is None:
+            self._shutdown.clear()
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.num_workers, thread_name_prefix="serving-worker"
+            )
+            if self.timer_interval > 0:
+                self._timer = threading.Thread(
+                    target=self._timer_loop, name="serving-age-timer", daemon=True
+                )
+                self._timer.start()
+        return self
+
+    def close(self) -> None:
+        """Stop the timer, wait for in-flight batches and release the threads.
+
+        Records still buffered below the batch-size trigger stay queued (use
+        :meth:`flush` first to force them through).  Detaching the executor
+        happens under the submit lock, so a concurrent submitter either
+        dispatches before the shutdown (and is waited for) or is refused
+        before it drains anything from the batcher.
+        """
+        self._shutdown.set()
+        if self._timer is not None:
+            self._timer.join()
+            self._timer = None
+        with self._submit_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+        self._raise_pending_error()
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def _timer_loop(self) -> None:
+        while not self._shutdown.wait(self.timer_interval):
+            self._dispatch_due()
+
+    def _dispatch_due(self) -> None:
+        with self._submit_lock:
+            if self._executor is None:  # timer racing a close(): nothing to do
+                return
+            batch = self.service.batcher.poll()
+            if batch is not None:
+                self._dispatch(batch)
+
+    def _require_running(self) -> None:
+        """Refuse before touching the batcher: draining records and then
+        failing to dispatch them would lose traffic silently.  Callers hold
+        ``_submit_lock``, so the check cannot race a concurrent close()."""
+        if self._executor is None:
+            raise RuntimeError(
+                "WorkerPool is not running; call start() or use it as a "
+                "context manager"
+            )
+        if self._streaming:
+            # An external batch committing mid-stream would consume phase
+            # records from the attribution FIFO and shift every later
+            # record's attribution.
+            raise RuntimeError(
+                "WorkerPool is serving a stream; submit/poll/flush are "
+                "unavailable until run_stream returns"
+            )
+
+    def _dispatch(self, records: TrafficRecords) -> None:
+        # Caller holds _submit_lock and has checked _require_running().
+        sequence = self._next_sequence
+        self._next_sequence += 1
+        self._executor.submit(self._score_and_commit, sequence, records)
+
+    def _score_and_commit(self, sequence: int, records: TrafficRecords) -> None:
+        result: Optional[BatchResult]
+        try:
+            result = self.service.score(records)
+        except BaseException as exc:  # surfaced on join/flush/close
+            result = None
+            with self._commit_cond:
+                self._errors.append(exc)
+        with self._commit_cond:
+            self._out_of_order[sequence] = result
+            while self._next_commit in self._out_of_order:
+                ready = self._out_of_order.pop(self._next_commit)
+                self._next_commit += 1
+                if ready is not None:
+                    try:
+                        self.service.observe(ready)
+                        if self._result_callback is not None:
+                            self._result_callback(ready)
+                        else:
+                            self._committed.append(ready)
+                    except BaseException as exc:  # keep the buffer draining
+                        self._errors.append(exc)
+            self._commit_cond.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # Public API (mirrors the synchronous service)
+    # ------------------------------------------------------------------ #
+    def submit(self, records: TrafficRecords) -> List[BatchResult]:
+        """Enqueue records, dispatching every due micro-batch to the workers.
+
+        Returns the results committed since the last call — which, because
+        scoring is asynchronous, are generally *older* batches, not the ones
+        just submitted.
+        """
+        with self._submit_lock:
+            self._require_running()
+            for batch in self.service.batcher.submit(records):
+                self._dispatch(batch)
+        return self.collect()
+
+    def poll(self) -> List[BatchResult]:
+        """Dispatch the pending partial batch if overdue; collect results."""
+        with self._submit_lock:
+            self._require_running()
+            batch = self.service.batcher.poll()
+            if batch is not None:
+                self._dispatch(batch)
+        return self.collect()
+
+    def collect(self) -> List[BatchResult]:
+        """Drain the committed results accumulated so far (non-blocking)."""
+        with self._commit_cond:
+            committed, self._committed = self._committed, []
+        return committed
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Block until every batch dispatched so far has been committed."""
+        with self._submit_lock:
+            target = self._next_sequence
+        with self._commit_cond:
+            if not self._commit_cond.wait_for(
+                lambda: self._next_commit >= target, timeout
+            ):
+                raise TimeoutError(
+                    f"worker pool did not drain within {timeout} s "
+                    f"({target - self._next_commit} batches outstanding)"
+                )
+        self._raise_pending_error()
+
+    def flush(self) -> List[BatchResult]:
+        """Force the queued tail through, wait for everything, collect."""
+        with self._submit_lock:
+            self._require_running()
+            batch = self.service.batcher.flush()
+            if batch is not None:
+                self._dispatch(batch)
+        self.join()
+        return self.collect()
+
+    def report(self) -> ServiceReport:
+        """The wrapped service's current report."""
+        return self.service.report()
+
+    def _raise_pending_error(self) -> None:
+        with self._commit_cond:
+            if not self._errors:
+                return
+            errors, self._errors = self._errors, []
+        error = errors[0]
+        if len(errors) > 1:
+            error.add_note(
+                f"{len(errors) - 1} additional worker error(s) occurred: "
+                + "; ".join(repr(extra) for extra in errors[1:3])
+            )
+        raise error
+
+    # ------------------------------------------------------------------ #
+    def run_stream(
+        self,
+        stream: Iterable[StreamBatch],
+        max_batches: Optional[int] = None,
+    ) -> ServiceReport:
+        """Serve a :class:`~repro.data.generator.TrafficStream` concurrently.
+
+        Identical semantics to :meth:`DetectionService.run_stream` — the
+        in-order commit makes the rolling and per-phase reports match a
+        synchronous run record for record — at worker-pool wall-clock speed.
+        Starts and stops the pool automatically when not already running.
+        The stream owns the pool for the duration: work queued beforehand
+        is drained to the previous sink first, and concurrent
+        ``submit``/``poll``/``flush`` calls are rejected until the run
+        returns (they would corrupt the phase attribution).
+        """
+        attributor = PhaseAttributor(
+            normal_index=self.service.pipeline.normal_index,
+            window=self.service.monitor.window,
+        )
+        owns_lifecycle = not self.running
+        if owns_lifecycle:
+            self.start()
+        # Take stream ownership and drain pre-stream work in one lock scope:
+        # records queued before the stream (on this pool or directly on the
+        # service) belong to no phase, and once _streaming is set no foreign
+        # submit can slip another batch in.  The drained batches commit
+        # through the *previous* sink — the standing callback, or the
+        # collect() buffer — before the attribution sink is installed.
+        with self._submit_lock:
+            self._streaming = True
+            tail = self.service.batcher.flush()
+            if tail is not None:
+                self._dispatch(tail)
+        self.join()
+
+        previous_callback = self._result_callback
+
+        def stream_sink(result: BatchResult) -> None:
+            # Attribute, then keep honouring the user's standing callback.
+            attributor.attribute(result)
+            if previous_callback is not None:
+                previous_callback(result)
+
+        with self._commit_cond:
+            self._result_callback = stream_sink
+        try:
+            served = 0
+            for stream_batch in stream:
+                if max_batches is not None and served >= max_batches:
+                    break
+                with self._submit_lock:
+                    # expect() before dispatch, under the same lock, so the
+                    # attribution FIFO is always ahead of the commits.
+                    attributor.expect(
+                        stream_batch.phase, len(stream_batch.records)
+                    )
+                    for batch in self.service.batcher.submit(stream_batch.records):
+                        self._dispatch(batch)
+                served += 1
+            # Flush the tail without collect(): results accumulated for the
+            # caller (e.g. re-stashed pre-stream work) must stay collectable.
+            with self._submit_lock:
+                tail = self.service.batcher.flush()
+                if tail is not None:
+                    self._dispatch(tail)
+            self.join()
+        finally:
+            # Mirror order: retire the sink before re-admitting submitters.
+            with self._commit_cond:
+                self._result_callback = previous_callback
+            with self._submit_lock:
+                self._streaming = False
+            if owns_lifecycle:
+                self.close()
+        return replace(self.report(), phase_reports=attributor.reports())

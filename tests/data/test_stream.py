@@ -150,3 +150,38 @@ class TestTrafficStream:
         assert any("flood" in name for name in phases)
         assert phases[-1] == "gradual-drift"
         assert stream.phases[-1].drift_scale > 0
+
+    def test_probe_sweep_scenario_is_low_and_slow(self, generator):
+        stream = TrafficStream.probe_sweep_scenario(generator, batch_size=200, seed=2)
+        phases = {phase.name: phase for phase in stream.phases}
+        assert set(phases) == {
+            "benign-baseline", "horizontal-sweep", "vertical-scan",
+            "quiet", "family-mix",
+        }
+        # The sweep ramps probe traffic in gradually from a benign start...
+        sweep = phases["horizontal-sweep"]
+        assert sweep.mix == {"normal": 1.0}
+        assert sweep.end_mix["probe"] == pytest.approx(0.15)
+        # ...and stays far below flood intensity even at the scan peak.
+        assert phases["vertical-scan"].mix["probe"] == pytest.approx(0.5)
+        # The family-mix phase pairs the probe class with a second family,
+        # the workload per-class-family sharding needs.
+        mix_families = {name for name, weight in phases["family-mix"].mix.items()
+                        if weight > 0 and name != "normal"}
+        assert "probe" in mix_families and len(mix_families) == 2
+        labels = np.concatenate([b.records.labels for b in stream])
+        probe_fraction = float(np.mean(labels == "probe"))
+        assert 0.05 < probe_fraction < 0.35
+
+    def test_probe_sweep_scenario_picks_the_unsw_recon_class(self):
+        from repro.data import unswnb15_generator
+
+        stream = TrafficStream.probe_sweep_scenario(
+            unswnb15_generator(seed=3), batch_size=16, seed=3
+        )
+        scan = next(p for p in stream.phases if p.name == "vertical-scan")
+        assert "reconnaissance" in scan.mix
+
+    def test_probe_sweep_scenario_rejects_unknown_probe_class(self, generator):
+        with pytest.raises(ValueError, match="unknown probe class"):
+            TrafficStream.probe_sweep_scenario(generator, probe_class="normal")

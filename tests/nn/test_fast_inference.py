@@ -29,7 +29,14 @@ from repro.nn import (
     Sequential,
     SimpleRNN,
 )
-from repro.nn.inference import get_raw_activation, raw_conv1d, raw_max_pool1d
+from repro.nn.inference import (
+    get_raw_activation,
+    invalidate_weight_caches,
+    raw_conv1d,
+    raw_max_pool1d,
+    weights_epoch,
+)
+from repro.nn.optimizers import SGD
 from repro.nn.tensor import conv1d, max_pool1d, relu
 
 
@@ -118,6 +125,42 @@ class TestLayerFastPaths:
         for _ in range(3):
             layer(RNG.normal(loc=2.0, scale=3.0, size=(16, 1, 5)), training=True)
         assert_fast_matches_graph(layer, RNG.normal(size=(8, 1, 5)))
+
+    def test_batch_norm_folded_constants_are_cached(self):
+        layer = BatchNormalization(seed=0)
+        layer(RNG.normal(loc=1.0, scale=2.0, size=(16, 1, 5)), training=True)
+        x = RNG.normal(size=(8, 1, 5))
+        layer.fast_forward(x)
+        scale, shift = layer.folded_constants()
+        # A second batch at the same weights epoch reuses the exact arrays.
+        layer.fast_forward(x)
+        again_scale, again_shift = layer.folded_constants()
+        assert again_scale is scale and again_shift is shift
+
+    def test_batch_norm_cache_invalidated_by_optimizer_step(self):
+        layer = BatchNormalization(seed=0)
+        layer(RNG.normal(size=(16, 1, 5)), training=True)
+        layer.fast_forward(RNG.normal(size=(4, 1, 5)))
+        stale_scale, _ = layer.folded_constants()
+        # Mimic a training step on gamma: the fast path must re-derive.
+        layer.gamma.grad = np.full_like(layer.gamma.data, 0.5)
+        SGD(learning_rate=1.0).step([layer.gamma])
+        assert_fast_matches_graph(layer, RNG.normal(size=(4, 1, 5)))
+        fresh_scale, _ = layer.folded_constants()
+        assert fresh_scale is not stale_scale
+        assert np.abs(fresh_scale - stale_scale).max() > 0
+
+    def test_batch_norm_cache_invalidated_by_set_weights(self):
+        layer = BatchNormalization(seed=0)
+        layer(RNG.normal(size=(16, 1, 5)), training=True)
+        layer.fast_forward(RNG.normal(size=(4, 1, 5)))
+        layer.set_weights([np.full(5, 2.0), np.full(5, -1.0)])
+        assert_fast_matches_graph(layer, RNG.normal(size=(4, 1, 5)))
+
+    def test_weights_epoch_is_monotonic(self):
+        before = weights_epoch()
+        assert invalidate_weight_caches() == before + 1
+        assert weights_epoch() == before + 1
 
     @pytest.mark.parametrize("return_sequences", [False, True])
     @pytest.mark.parametrize("layer_cls", [GRU, LSTM, SimpleRNN])

@@ -1,0 +1,27 @@
+"""Shared fixtures for the serving suite: one small fitted detector.
+
+Fitting even a 1-block detector dominates the suite's runtime, so the
+service, worker-pool and sharding tests all share this package-scoped
+fixture instead of training their own.
+"""
+
+import pytest
+
+from repro.core import PelicanDetector
+from repro.data import NSLKDD_SCHEMA, load_nslkdd
+
+
+@pytest.fixture(scope="package")
+def detector():
+    records = load_nslkdd(n_records=400, seed=11)
+    detector = PelicanDetector(
+        NSLKDD_SCHEMA, num_blocks=1, epochs=2, batch_size=64,
+        dropout_rate=0.3, seed=0,
+    )
+    detector.fit(records)
+    return detector
+
+
+@pytest.fixture()
+def traffic():
+    return load_nslkdd(n_records=150, seed=12)

@@ -18,6 +18,19 @@ class FakeClock:
         self.now += seconds
 
 
+class TickingClock(FakeClock):
+    """A clock that advances on every reading, like a real one."""
+
+    def __init__(self, tick: float) -> None:
+        super().__init__()
+        self.tick = tick
+
+    def __call__(self) -> float:
+        now = self.now
+        self.now += self.tick
+        return now
+
+
 @pytest.fixture()
 def records():
     return load_nslkdd(n_records=100, seed=3)
@@ -72,6 +85,47 @@ class TestMicroBatcher:
         clock.advance(2.0)
         ready = batcher.submit(records.subset(range(5, 8)))
         assert [len(b) for b in ready] == [8]
+
+    def test_size_drain_does_not_restart_the_age_clock(self, records):
+        """Regression: leftover records keep their true arrival time.
+
+        The batcher used to re-stamp the pending tail with "now" after a
+        size-triggered drain, so a leftover record could wait up to twice
+        the flush interval.  With a clock that ticks on every reading (as a
+        real clock does), the drain happens measurably after the submission
+        arrived — the age trigger must still fire relative to the arrival.
+        """
+        clock = TickingClock(tick=0.1)
+        batcher = MicroBatcher(max_batch_size=32, flush_interval=1.0, clock=clock)
+        ready = batcher.submit(records.subset(range(40)))  # arrives at t=0.0
+        assert [len(b) for b in ready] == [32]
+        assert batcher.pending_count == 8
+        assert batcher.oldest_arrival == 0.0  # not the post-drain reading
+        # Just before one interval after the *arrival*: no release.
+        clock.now = 0.85
+        assert batcher.poll() is None
+        # One interval after the arrival the leftover is released; measured
+        # from the (later) post-drain reading it would still be under the
+        # interval, so a re-stamping batcher would hold the records back.
+        clock.now = 1.0
+        batch = batcher.poll()
+        assert batch is not None and len(batch) == 8
+
+    def test_split_tail_keeps_the_oldest_arrival(self, records):
+        clock = FakeClock()
+        batcher = MicroBatcher(max_batch_size=32, flush_interval=1.0, clock=clock)
+        batcher.submit(records.subset(range(20)))      # arrives at t=0.0
+        clock.advance(0.4)
+        batcher.submit(records.subset(range(20, 40)))  # arrives at t=0.4
+        assert batcher.pending_count == 8
+        # The leftover tail comes from the t=0.4 submission and must age
+        # from 0.4, not from the first submission nor from "now".
+        assert batcher.oldest_arrival == pytest.approx(0.4)
+        clock.advance(0.9)  # t=1.3: only 0.9 since the tail arrived
+        assert batcher.poll() is None
+        clock.advance(0.2)  # t=1.5: 1.1 since the tail arrived
+        batch = batcher.poll()
+        assert batch is not None and len(batch) == 8
 
     def test_flush_drains_everything(self, records):
         batcher, _ = make_batcher(max_batch_size=32)

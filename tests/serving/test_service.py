@@ -4,29 +4,13 @@ import numpy as np
 import pytest
 
 from repro.core import PelicanDetector
-from repro.data import NSLKDD_SCHEMA, load_nslkdd
+from repro.data import NSLKDD_SCHEMA, TrafficStream, nslkdd_generator
 from repro.serving import (
     CachedPreprocessor,
     DetectionService,
     RollingDetectionMonitor,
     ThroughputMonitor,
 )
-
-
-@pytest.fixture(scope="module")
-def detector():
-    records = load_nslkdd(n_records=400, seed=11)
-    detector = PelicanDetector(
-        NSLKDD_SCHEMA, num_blocks=1, epochs=2, batch_size=64,
-        dropout_rate=0.3, seed=0,
-    )
-    detector.fit(records)
-    return detector
-
-
-@pytest.fixture()
-def traffic():
-    return load_nslkdd(n_records=150, seed=12)
 
 
 class TestCachedPreprocessor:
@@ -72,16 +56,53 @@ class TestMonitors:
         assert RollingDetectionMonitor(normal_index=0).report() is None
 
     def test_throughput_monitor_aggregates(self):
+        # Two back-to-back batches: ends at t=0.5 and t=1.0, each 0.5 long.
         monitor = ThroughputMonitor()
-        monitor.update(100, 0.5)
-        monitor.update(300, 0.5)
+        monitor.update(100, 0.5, end_time=0.5)
+        monitor.update(300, 0.5, end_time=1.0)
         assert monitor.total_records == 400
         assert monitor.total_batches == 2
+        assert monitor.total_time == pytest.approx(1.0)
+        assert monitor.busy_time == pytest.approx(1.0)
+        assert monitor.busy_span == pytest.approx(1.0)
         assert monitor.throughput == pytest.approx(400.0)
         assert monitor.mean_latency == pytest.approx(0.5)
         snapshot = monitor.snapshot()
         assert snapshot["records"] == 400.0
+        assert snapshot["busy_time_s"] == pytest.approx(1.0)
         assert snapshot["throughput_rps"] == pytest.approx(400.0)
+
+    def test_throughput_overlapping_batches_use_the_wall_clock_span(self):
+        """Regression: summed latencies understate concurrent throughput.
+
+        Two workers each score a 1-second batch over the *same* wall-clock
+        second.  Dividing by the 2 s latency sum would report half the real
+        rate; the busy span (1 s) reports the truth.
+        """
+        monitor = ThroughputMonitor()
+        monitor.update(100, 1.0, end_time=1.0)
+        monitor.update(100, 1.0, end_time=1.0)
+        assert monitor.total_time == pytest.approx(2.0)
+        assert monitor.busy_time == pytest.approx(1.0)
+        assert monitor.throughput == pytest.approx(200.0)
+
+    def test_throughput_excludes_idle_gaps_between_batches(self):
+        """A long-lived, sporadically loaded service must report serving
+        capacity, not records-per-uptime."""
+        monitor = ThroughputMonitor()
+        monitor.update(1000, 1.0, end_time=1.0)
+        monitor.update(1000, 1.0, end_time=3601.0)  # an hour of idle between
+        assert monitor.busy_time == pytest.approx(2.0)
+        assert monitor.busy_span == pytest.approx(3601.0)
+        assert monitor.throughput == pytest.approx(1000.0)
+
+    def test_throughput_degenerate_span_falls_back_to_summed_time(self):
+        monitor = ThroughputMonitor()
+        monitor.update(100, 0.0, end_time=1.0)  # zero-length span
+        assert monitor.busy_span == 0.0
+        assert monitor.throughput == 0.0
+        monitor.update(100, 0.5, end_time=1.0)
+        assert monitor.throughput == pytest.approx(400.0)
 
 
 class TestDetectionService:
@@ -129,3 +150,43 @@ class TestDetectionService:
         assert report.records == len(traffic)
         assert report.rolling is not None
         assert report.rolling.total == 128  # clipped to the window
+
+    def test_run_stream_clears_prequeued_records_before_attribution(
+        self, detector, traffic
+    ):
+        """Records queued before the stream belong to no phase; they must be
+        flushed through instead of consuming the attribution FIFO."""
+        service = DetectionService(
+            detector, max_batch_size=1024, flush_interval=1e9, window=4096
+        )
+        service.submit(traffic)  # stays queued below every trigger
+        stream = TrafficStream.flood_scenario(
+            nslkdd_generator(), batch_size=48, seed=11
+        )
+        report = service.run_stream(stream)
+        assert report.records == stream.total_records + len(traffic)
+        assert sum(r.total for r in report.phase_reports.values()) == (
+            stream.total_records
+        )
+
+    def test_unknown_categorical_values_are_counted_not_swallowed(
+        self, detector, traffic
+    ):
+        """Vocabulary drift: a protocol the detector never trained on must be
+        surfaced in the report, not silently zero-encoded."""
+        service = DetectionService(detector)
+        clean = service.process(traffic)
+        assert all(
+            count == 0 for count in service.report().unknown_categoricals.values()
+        )
+        drifted = traffic.subset(range(len(traffic)))
+        column = NSLKDD_SCHEMA.categorical_names[0]
+        drifted.categorical[column][:10] = "quic-v2"  # outside the vocabulary
+        service.process(drifted)
+        report = service.report()
+        assert report.unknown_categoricals[column] == 10
+        assert sum(report.unknown_categoricals.values()) == 10
+        assert "unknown-categoricals=10" in str(report)
+        # The drifted records still score (zero block, like training-time
+        # unseen values): the record count keeps growing.
+        assert report.records == clean.size + len(drifted)

@@ -1,0 +1,215 @@
+"""Tests for the worker-pool execution model.
+
+The contract under test: scoring fans out to threads, but monitor updates
+and phase attribution commit in submission order, so every report matches
+the synchronous run record for record.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.data import TrafficStream, nslkdd_generator
+from repro.serving import DetectionService, WorkerPool
+
+
+def make_stream(seed=11, batch_size=48):
+    return TrafficStream.flood_scenario(nslkdd_generator(), batch_size=batch_size, seed=seed)
+
+
+class TestWorkerPoolApi:
+    def test_invalid_configuration_raises(self, detector):
+        service = DetectionService(detector)
+        with pytest.raises(ValueError, match="num_workers"):
+            WorkerPool(service, num_workers=0)
+        with pytest.raises(ValueError, match="timer_interval"):
+            WorkerPool(service, timer_interval=-1.0)
+
+    def test_dispatch_requires_started_pool(self, detector, traffic):
+        service = DetectionService(detector, max_batch_size=32)
+        pool = WorkerPool(service, num_workers=2)
+        with pytest.raises(RuntimeError, match="not running"):
+            pool.submit(traffic)  # 150 records trip the size trigger
+        # The refusal must come before the batcher is drained — otherwise
+        # the due batches would be lost instead of scored after start().
+        assert service.batcher.pending_count == 0
+        assert service.throughput.total_records == 0
+        with pytest.raises(RuntimeError, match="not running"):
+            pool.flush()
+        with pytest.raises(RuntimeError, match="not running"):
+            pool.poll()
+
+    def test_results_commit_in_submission_order(self, detector, traffic):
+        service = DetectionService(
+            detector, max_batch_size=64, flush_interval=1e9
+        )
+        with WorkerPool(service, num_workers=4, timer_interval=0) as pool:
+            results = pool.submit(traffic)  # two 64-record batches dispatched
+            results += pool.flush()         # tail of 22 + barrier
+        assert [r.size for r in results] == [64, 64, 22]
+        served = np.concatenate([r.predictions for r in results])
+        offline = detector.predict(traffic)
+        np.testing.assert_array_equal(served, offline)
+        assert service.throughput.total_records == len(traffic)
+
+    def test_empty_submission_is_safe(self, detector, traffic):
+        service = DetectionService(detector)
+        with WorkerPool(service, num_workers=2, timer_interval=0) as pool:
+            assert pool.submit(traffic.subset(range(0))) == []
+            assert pool.flush() == []
+
+    def test_scoring_errors_surface_on_flush(self, detector, traffic):
+        service = DetectionService(detector, max_batch_size=32)
+
+        def explode(records):
+            raise RuntimeError("scoring blew up")
+
+        service.score = explode
+        with pytest.raises(RuntimeError, match="scoring blew up"):
+            with WorkerPool(service, num_workers=2, timer_interval=0) as pool:
+                pool.submit(traffic)
+                pool.flush()
+
+    def test_join_times_out_when_work_is_outstanding(self, detector, traffic):
+        service = DetectionService(detector, max_batch_size=32)
+        release = threading.Event()
+        original = service.score
+
+        def blocked(records):
+            release.wait(5.0)
+            return original(records)
+
+        service.score = blocked
+        with WorkerPool(service, num_workers=1, timer_interval=0) as pool:
+            pool.submit(traffic.subset(range(40)))
+            with pytest.raises(TimeoutError, match="outstanding"):
+                pool.join(timeout=0.05)
+            release.set()
+            pool.join(timeout=5.0)
+
+
+class TestWorkerPoolStream:
+    @pytest.mark.parametrize("num_workers", [1, 4])
+    def test_report_matches_synchronous_run(self, detector, num_workers):
+        """The acceptance contract: identical quality reports, any worker count."""
+        sync_service = DetectionService(
+            detector, max_batch_size=96, flush_interval=0.0, window=512
+        )
+        sync_report = sync_service.run_stream(make_stream())
+
+        pooled_service = DetectionService(
+            detector, max_batch_size=96, flush_interval=0.0, window=512
+        )
+        pool = WorkerPool(pooled_service, num_workers=num_workers)
+        pooled_report = pool.run_stream(make_stream())
+        assert not pool.running  # run_stream owns the lifecycle here
+
+        assert pooled_report.records == sync_report.records
+        assert pooled_report.batches == sync_report.batches
+        assert pooled_report.rolling.as_dict() == sync_report.rolling.as_dict()
+        assert set(pooled_report.phase_reports) == set(sync_report.phase_reports)
+        for phase, expected in sync_report.phase_reports.items():
+            assert pooled_report.phase_reports[phase].as_dict() == expected.as_dict()
+
+    def test_run_stream_on_running_pool_drains_prior_work_first(
+        self, detector, traffic
+    ):
+        """A tail queued before run_stream must not consume phase records."""
+        service = DetectionService(
+            detector, max_batch_size=1024, flush_interval=1e9, window=4096
+        )
+        stream = make_stream()
+        with WorkerPool(service, num_workers=2, timer_interval=0) as pool:
+            pool.submit(traffic.subset(range(10)))  # stays queued (no trigger)
+            report = pool.run_stream(stream)
+            # The pre-stream tail was scored outside the attribution FIFO
+            # and stays collectable; the phase breakdown covers exactly the
+            # stream's records.
+            leftover = pool.collect()
+        assert [r.size for r in leftover] == [10]
+        assert report.records == stream.total_records + 10
+        assert sum(r.total for r in report.phase_reports.values()) == (
+            stream.total_records
+        )
+
+    def test_submit_is_rejected_while_a_stream_is_running(self, detector, traffic):
+        """External submissions mid-stream would corrupt phase attribution,
+        so run_stream owns the pool until it returns."""
+        service = DetectionService(detector, max_batch_size=96, flush_interval=0.0)
+        first_served = threading.Event()
+        resume = threading.Event()
+
+        def gated_stream():
+            batches = list(make_stream())
+            yield batches[0]
+            first_served.set()
+            assert resume.wait(5.0)
+            yield from batches[1:]
+
+        with WorkerPool(service, num_workers=2) as pool:
+            runner = threading.Thread(target=pool.run_stream, args=(gated_stream(),))
+            runner.start()
+            assert first_served.wait(5.0)
+            with pytest.raises(RuntimeError, match="serving a stream"):
+                pool.submit(traffic)
+            resume.set()
+            runner.join(10.0)
+            assert not runner.is_alive()
+            # Ownership is released once the stream completed.
+            pool.submit(traffic.subset(range(5)))
+            pool.flush()
+
+    def test_run_stream_keeps_feeding_a_standing_result_callback(self, detector):
+        service = DetectionService(
+            detector, max_batch_size=96, flush_interval=0.0
+        )
+        delivered = []
+        stream = make_stream()
+        pool = WorkerPool(service, num_workers=2, result_callback=delivered.append)
+        pool.run_stream(stream)
+        assert sum(result.size for result in delivered) == stream.total_records
+
+    @pytest.mark.slow
+    def test_age_trigger_fires_on_the_timer(self, detector, traffic):
+        """A partial batch must be scored without any further service calls.
+
+        Real-time test (the flush interval has to actually elapse), so it
+        runs under --runslow only.
+        """
+        service = DetectionService(
+            detector, max_batch_size=1024, flush_interval=0.02
+        )
+        scored = threading.Event()
+        with WorkerPool(
+            service,
+            num_workers=2,
+            result_callback=lambda result: scored.set(),
+        ) as pool:
+            pool.submit(traffic.subset(range(10)))  # far below the size trigger
+            assert scored.wait(timeout=5.0), "timer never fired the age trigger"
+        report = service.report()
+        assert report.records == 10
+
+
+class TestThreadSafetyUnderLoad:
+    def test_concurrent_submitters_lose_no_records(self, detector, traffic):
+        """Several threads hammering submit() while the timer drains partials:
+        every record must be scored exactly once."""
+        service = DetectionService(
+            detector, max_batch_size=32, flush_interval=0.0
+        )
+        chunks = [traffic.subset(range(i, len(traffic), 5)) for i in range(5)]
+        with WorkerPool(service, num_workers=4, timer_interval=0.001) as pool:
+            threads = [
+                threading.Thread(target=pool.submit, args=(chunk,))
+                for chunk in chunks
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            pool.flush()
+        assert service.throughput.total_records == len(traffic)
+        assert service.monitor.seen == len(traffic)
