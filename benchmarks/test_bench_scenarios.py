@@ -1,0 +1,130 @@
+"""Scenario-suite benchmark: every preset, every execution model.
+
+Trains one small detector per corpus (the same service scale as the
+serving-throughput bench), sweeps the full scenario library with
+:class:`repro.scenarios.ScenarioSuite` — flood, probe-sweep,
+imbalance-shift and slow-dos under the synchronous, worker-pool and
+replica-sharded execution models, plus the cross-dataset fleet preset on a
+dataset-routed two-shard service (inline and with per-shard worker pools)
+— and writes the per-scenario, per-phase DR/FAR/throughput rows to
+``BENCH_scenarios.json`` at the repository root.  That file is the
+scenario-regression baseline future PRs diff against, alongside
+``BENCH_serving.json``.
+
+Hard assertions: for every scenario the execution models must agree on the
+confusion counts bit for bit (the serving tier's ordering guarantee), and
+every phase of every preset must be attributed.  Quality claims
+(``check_claims`` scales only): the flood preset's flood phases keep
+DR ≥ 90 % while the benign baseline's FAR stays under 15 %, and the
+slow-dos low-and-slow phase — 8 % attack mix, far below volumetric
+thresholds — is still detected at DR ≥ 80 %.
+"""
+
+import json
+from pathlib import Path
+
+from bench_utils import emit
+from repro.core import PelicanDetector
+from repro.data import NSLKDD_SCHEMA, UNSWNB15_SCHEMA, load_nslkdd, load_unswnb15
+from repro.scenarios import ScenarioSuite
+
+BATCH_SIZE = 64
+NUM_WORKERS = 2
+REPLICA_SHARDS = 2
+TRAIN_RECORDS = 500
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_scenarios.json"
+
+
+def _train(schema, loader, seed):
+    detector = PelicanDetector(
+        schema, num_blocks=1, epochs=2, batch_size=64, dropout_rate=0.3,
+        seed=seed,
+    )
+    detector.fit(loader(n_records=TRAIN_RECORDS, seed=seed))
+    return detector
+
+
+def _run_suite(seed):
+    detectors = {
+        "nsl-kdd": _train(NSLKDD_SCHEMA, load_nslkdd, seed),
+        "unsw-nb15": _train(UNSWNB15_SCHEMA, load_unswnb15, seed),
+    }
+    suite = ScenarioSuite(
+        detectors,
+        batch_size=BATCH_SIZE,
+        seed=seed,
+        num_workers=NUM_WORKERS,
+        replica_shards=REPLICA_SHARDS,
+    )
+    return suite.run()
+
+
+def _counts(row):
+    overall = row["overall"]
+    return (overall["tp"], overall["tn"], overall["fp"], overall["fn"])
+
+
+def _render(results) -> str:
+    lines = [
+        "Scenario suite (batch %d, %d workers, %d replica shards)"
+        % (results["batch_size"], results["num_workers"], results["replica_shards"]),
+        f"{'scenario':<17s} {'model':<16s} {'records':>8s} {'rec/s':>10s} "
+        f"{'DR':>7s} {'FAR':>7s} {'ACC':>7s}",
+    ]
+    for name, entry in results["scenarios"].items():
+        for model, row in entry["models"].items():
+            overall = row["overall"]
+            lines.append(
+                f"{name:<17s} {model:<16s} {row['records']:>8d} "
+                f"{row['throughput_rps']:>10,.0f} {overall['dr']:>7.2%} "
+                f"{overall['far']:>7.2%} {overall['acc']:>7.2%}"
+            )
+        first = next(iter(entry["models"].values()))
+        for phase, quality in first["phases"].items():
+            lines.append(
+                f"    {phase:<29s} {quality['records']:>8d} {'':>10s} "
+                f"{quality['dr']:>7.2%} {quality['far']:>7.2%} "
+                f"{quality['acc']:>7.2%}"
+            )
+    return "\n".join(lines)
+
+
+def test_scenario_suite(run_once, seed, check_claims):
+    results = run_once(_run_suite, seed)
+    emit(_render(results))
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+    scenarios = results["scenarios"]
+    assert set(scenarios) == {
+        "flood", "probe-sweep", "imbalance-shift", "slow-dos", "fleet",
+    }
+    for name, entry in scenarios.items():
+        rows = entry["models"]
+        assert len(rows) >= 2, f"{name}: fewer than two execution models"
+        counts = {_counts(row) for row in rows.values()}
+        assert len(counts) == 1, (
+            f"{name}: execution models disagree on the confusion counts"
+        )
+        for model, row in rows.items():
+            assert row["records"] == entry["total_records"], (
+                f"{name}/{model}: dropped records"
+            )
+            phase_total = sum(q["records"] for q in row["phases"].values())
+            assert phase_total == entry["total_records"], (
+                f"{name}/{model}: phase attribution lost records"
+            )
+
+    if check_claims:
+        flood = scenarios["flood"]["models"]["synchronous"]["phases"]
+        for phase in ("syn-flood", "udp-flood", "http-flood"):
+            assert flood[phase]["dr"] >= 0.90, (
+                f"flood {phase}: DR {flood[phase]['dr']:.2%} below 90%"
+            )
+        assert flood["benign-baseline"]["far"] <= 0.15, (
+            f"flood baseline FAR {flood['benign-baseline']['far']:.2%} above 15%"
+        )
+        slow = scenarios["slow-dos"]["models"]["synchronous"]["phases"]
+        assert slow["low-and-slow"]["dr"] >= 0.80, (
+            "slow-rate DoS went undetected: DR "
+            f"{slow['low-and-slow']['dr']:.2%} below 80%"
+        )

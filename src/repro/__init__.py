@@ -15,9 +15,13 @@ The package is organised as a layered system:
 * :mod:`repro.experiments` — the harness regenerating every table and figure.
 * :mod:`repro.serving` — the streaming detection service (micro-batching,
   cached preprocessing, graph-free fast inference, rolling monitoring).
+* :mod:`repro.scenarios` — the composable scenario library: declarative
+  traffic episodes (floods, low-and-slow attacks, prior shifts, the
+  cross-dataset fleet) and the suite that sweeps them across execution
+  models (see ``docs/SCENARIOS.md``).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "nn",
@@ -28,5 +32,6 @@ __all__ = [
     "metrics",
     "experiments",
     "serving",
+    "scenarios",
     "__version__",
 ]

@@ -4,6 +4,11 @@ The subpackage stands in for the NSL-KDD and UNSW-NB15 corpora used by the
 paper (see DESIGN.md for the substitution rationale).  The public entry points
 are :func:`load_nslkdd` and :func:`load_unswnb15`, which return
 :class:`TrafficRecords` batches ready for :mod:`repro.preprocessing`.
+
+:class:`TrafficStream` is the low-level episodic stream driver; scenario
+*presets* (floods, slow-rate DoS, prior shifts, the cross-dataset fleet)
+live in :mod:`repro.scenarios`, which compiles declarative segment lists
+onto it.
 """
 
 from .dataset import TrafficRecords

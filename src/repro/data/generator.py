@@ -24,7 +24,7 @@ statistical structure the paper's experiments exercise:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence
 
 import numpy as np
@@ -321,10 +321,22 @@ class StreamPhase:
         are expressed.
     drift_scale:
         Magnitude of a gradual covariate shift applied to the numeric
-        features: batch ``i`` is offset by ``drift_scale * progress`` along a
-        fixed random direction drawn from the stream's seed, where progress
-        ramps 0 → 1 across the phase.  This models the feature drift that
-        degrades a deployed detector without any label change.
+        features: batch ``i`` is offset by ``drift_start + drift_scale *
+        progress`` along a fixed random direction drawn from the stream's
+        seed, where progress ramps 0 → 1 across the phase.  This models the
+        feature drift that degrades a deployed detector without any label
+        change.
+    drift_start:
+        Baseline drift offset the phase starts from.  A phase following a
+        drift ramp can keep the accumulated shift (covariate drift does not
+        undo itself when the ramp ends) by starting where the previous phase
+        finished; :mod:`repro.scenarios` threads this automatically.
+    rate_hint:
+        Advisory target rate in records/second for replay-style pacing.
+        Ignored by :class:`TrafficStream` itself (batches are emitted as fast
+        as the consumer pulls them) but carried through so load harnesses and
+        the scenario suite can report the intended intensity — the
+        low-PPS/flood distinction of the dpdk_100g attack generator.
     """
 
     name: str
@@ -332,6 +344,8 @@ class StreamPhase:
     mix: Mapping[str, float]
     end_mix: Optional[Mapping[str, float]] = None
     drift_scale: float = 0.0
+    drift_start: float = 0.0
+    rate_hint: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.batches <= 0:
@@ -347,6 +361,10 @@ class StreamPhase:
                 raise ValueError("mix weights must sum to a positive value")
         if self.drift_scale < 0:
             raise ValueError("drift_scale must be non-negative")
+        if self.drift_start < 0:
+            raise ValueError("drift_start must be non-negative")
+        if self.rate_hint is not None and self.rate_hint <= 0:
+            raise ValueError("rate_hint must be positive when given")
 
 
 @dataclass(frozen=True)
@@ -461,10 +479,9 @@ class TrafficStream:
                     if count > 0
                 ]
                 records = TrafficRecords.concatenate(parts).shuffled(rng)
-                if phase.drift_scale > 0.0:
-                    records.numeric = records.numeric + (
-                        phase.drift_scale * progress * drift_direction
-                    )
+                if phase.drift_scale > 0.0 or phase.drift_start != 0.0:
+                    offset = phase.drift_start + phase.drift_scale * progress
+                    records.numeric = records.numeric + (offset * drift_direction)
                 yield StreamBatch(
                     records=records,
                     phase=phase.name,
@@ -475,6 +492,9 @@ class TrafficStream:
                 index += 1
 
     # ------------------------------------------------------------------ #
+    # Preset scenarios live in :mod:`repro.scenarios.presets`; the
+    # classmethods below are compatibility wrappers kept so existing call
+    # sites (`TrafficStream.flood_scenario(...)`) continue to work unchanged.
     @classmethod
     def flood_scenario(
         cls,
@@ -490,43 +510,25 @@ class TrafficStream:
     ) -> "TrafficStream":
         """Preset scenario: benign baseline, three flood bursts, then drift.
 
-        The bursts are named after the classic volumetric DDoS patterns
-        (SYN / UDP / HTTP flood, cf. the dpdk_100g traffic generator) and
-        are realised with the schema's DoS-style class at ``attack_fraction``
-        of the batch, mixed with decreasing amounts of benign and secondary
-        attack traffic.  The final phase ramps an attack back in *gradually*
-        while also drifting the numeric features.
+        Thin wrapper around :func:`repro.scenarios.flood_scenario` (see its
+        docstring); emits exactly the same batches as the pre-refactor
+        hand-rolled phase list.
         """
-        schema = generator.schema
-        normal = schema.normal_class
-        attacks = schema.attack_classes
-        attack = attack_class or ("dos" if "dos" in attacks else attacks[0])
-        if attack not in attacks:
-            raise ValueError(f"unknown attack class {attack!r}; choices: {attacks}")
-        secondary = [name for name in attacks if name != attack]
-        benign = {normal: 1.0}
-        flood = {normal: 1.0 - attack_fraction, attack: attack_fraction}
-        mixed_flood = {
-            normal: 1.0 - attack_fraction,
-            attack: attack_fraction * (0.8 if secondary else 1.0),
-        }
-        if secondary:
-            mixed_flood[secondary[0]] = attack_fraction * 0.2
-        phases = [
-            StreamPhase("benign-baseline", baseline_batches, benign),
-            StreamPhase("syn-flood", burst_batches, flood),
-            StreamPhase("recovery", max(baseline_batches // 2, 1), benign),
-            StreamPhase("udp-flood", burst_batches, mixed_flood),
-            StreamPhase("http-flood", burst_batches, flood),
-            StreamPhase(
-                "gradual-drift",
-                drift_batches,
-                benign,
-                end_mix={normal: 0.6, attack: 0.4},
+        from ..scenarios.presets import flood_scenario
+
+        return cls._rewrap(
+            flood_scenario(
+                generator,
+                batch_size=batch_size,
+                seed=seed,
+                attack_class=attack_class,
+                baseline_batches=baseline_batches,
+                burst_batches=burst_batches,
+                attack_fraction=attack_fraction,
+                drift_batches=drift_batches,
                 drift_scale=drift_scale,
-            ),
-        ]
-        return cls(generator, phases, batch_size=batch_size, seed=seed)
+            )
+        )
 
     @classmethod
     def probe_sweep_scenario(
@@ -543,39 +545,35 @@ class TrafficStream:
     ) -> "TrafficStream":
         """Preset scenario: low-and-slow reconnaissance instead of a flood.
 
-        Mirrors the scanning half of the dpdk_100g attack taxonomy: a long
-        *horizontal sweep* ramps probe traffic in gradually at a low rate
-        (the low-and-slow pattern volumetric thresholds miss), a short
-        *vertical scan* burst concentrates it, and a final *family-mix*
-        phase pairs the probe class with a secondary attack family — the
-        workload that exercises per-class-family shard routing, since no
-        single-family shard sees the whole picture.
+        Thin wrapper around :func:`repro.scenarios.probe_sweep_scenario`
+        (see its docstring); emits exactly the same batches as the
+        pre-refactor hand-rolled phase list.
         """
-        schema = generator.schema
-        normal = schema.normal_class
-        attacks = schema.attack_classes
-        if probe_class is None:
-            preferred = [c for c in ("probe", "reconnaissance", "analysis") if c in attacks]
-            probe_class = preferred[0] if preferred else attacks[0]
-        if probe_class not in attacks:
-            raise ValueError(
-                f"unknown probe class {probe_class!r}; choices: {attacks}"
+        from ..scenarios.presets import probe_sweep_scenario
+
+        return cls._rewrap(
+            probe_sweep_scenario(
+                generator,
+                batch_size=batch_size,
+                seed=seed,
+                probe_class=probe_class,
+                baseline_batches=baseline_batches,
+                sweep_batches=sweep_batches,
+                scan_batches=scan_batches,
+                sweep_fraction=sweep_fraction,
+                scan_fraction=scan_fraction,
             )
-        secondary = [name for name in attacks if name != probe_class]
-        benign = {normal: 1.0}
-        sweep = {normal: 1.0 - sweep_fraction, probe_class: sweep_fraction}
-        scan = {normal: 1.0 - scan_fraction, probe_class: scan_fraction}
-        family_mix = {
-            normal: 0.6,
-            probe_class: 0.4 * (0.5 if secondary else 1.0),
-        }
-        if secondary:
-            family_mix[secondary[0]] = 0.2
-        phases = [
-            StreamPhase("benign-baseline", baseline_batches, benign),
-            StreamPhase("horizontal-sweep", sweep_batches, benign, end_mix=sweep),
-            StreamPhase("vertical-scan", scan_batches, scan),
-            StreamPhase("quiet", max(baseline_batches // 2, 1), benign),
-            StreamPhase("family-mix", scan_batches, family_mix),
-        ]
-        return cls(generator, phases, batch_size=batch_size, seed=seed)
+        )
+
+    @classmethod
+    def _rewrap(cls, stream: "TrafficStream") -> "TrafficStream":
+        """Rebuild a preset's stream as ``cls`` so subclasses stay subclasses
+        (the pre-refactor classmethods constructed ``cls(...)`` directly)."""
+        if type(stream) is cls:
+            return stream
+        return cls(
+            stream.generator,
+            stream.phases,
+            batch_size=stream.batch_size,
+            seed=stream.seed,
+        )

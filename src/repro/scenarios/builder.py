@@ -1,0 +1,349 @@
+"""Composable scenario construction: segments, schedules and the builder.
+
+A *scenario* is declared as data — an ordered list of named
+:class:`Segment` values — and compiled into the
+:class:`~repro.data.generator.StreamPhase` list a
+:class:`~repro.data.generator.TrafficStream` executes.  Each segment pairs a
+*mix schedule* (how the benign/attack composition evolves across the
+segment) with an optional *drift schedule* (how far the numeric features
+shift) and an advisory *rate hint* (the dpdk_100g-style PPS intent):
+
+* :class:`Constant` — one fixed class mix for the whole segment;
+* :class:`Ramp` — linear interpolation from a start mix to an end mix
+  (gradual attack onset, prior flips);
+* :class:`Spike` — rise from a base mix to a peak mix and back down inside
+  one segment (a short burst that reads as a single phase in reports).
+
+Drift is expressed with :class:`Drift` and *threads across segments*: a
+segment that ramps the covariate shift to 1.5 leaves the following segments
+drifted by 1.5 unless they ramp further or explicitly jump back — covariate
+shift does not undo itself when a ramp ends.  Compilation is pure data
+transformation; all randomness stays in :class:`TrafficStream`, so the
+determinism and re-iterability guarantees of the stream carry over
+unchanged (see ``docs/SCENARIOS.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from ..data.generator import StreamPhase, TrafficGenerator, TrafficStream
+
+__all__ = [
+    "Mix",
+    "MixSchedule",
+    "Constant",
+    "Ramp",
+    "Spike",
+    "Drift",
+    "Segment",
+    "Scenario",
+    "ScenarioBuilder",
+]
+
+#: A class-composition mapping ``class name -> weight`` (normalised by the
+#: stream; classes omitted get weight zero).
+Mix = Mapping[str, float]
+
+
+def _check_mix(mix: Mix, where: str) -> Dict[str, float]:
+    if not mix:
+        raise ValueError(f"{where}: a mix cannot be empty")
+    if any(weight < 0 for weight in mix.values()):
+        raise ValueError(f"{where}: mix weights must be non-negative")
+    if sum(mix.values()) <= 0:
+        raise ValueError(f"{where}: mix weights must sum to a positive value")
+    return dict(mix)
+
+
+class MixSchedule:
+    """How a segment's class composition evolves batch-by-batch.
+
+    Subclasses compile themselves into one or more :class:`StreamPhase`
+    values sharing the segment's name, so a multi-phase schedule (a spike's
+    rise and fall) still reads as a single phase in per-phase reports.
+    """
+
+    def to_phases(
+        self,
+        name: str,
+        batches: int,
+        drift_start: float,
+        drift_scale: float,
+        rate_hint: Optional[float],
+    ) -> List[StreamPhase]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Constant(MixSchedule):
+    """One fixed mix for the whole segment."""
+
+    mix: Mix
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mix", _check_mix(self.mix, "Constant"))
+
+    def to_phases(self, name, batches, drift_start, drift_scale, rate_hint):
+        return [
+            StreamPhase(
+                name,
+                batches,
+                self.mix,
+                drift_scale=drift_scale,
+                drift_start=drift_start,
+                rate_hint=rate_hint,
+            )
+        ]
+
+
+@dataclass(frozen=True)
+class Ramp(MixSchedule):
+    """Linear interpolation from ``start`` to ``end`` across the segment."""
+
+    start: Mix
+    end: Mix
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "start", _check_mix(self.start, "Ramp start"))
+        object.__setattr__(self, "end", _check_mix(self.end, "Ramp end"))
+
+    def to_phases(self, name, batches, drift_start, drift_scale, rate_hint):
+        return [
+            StreamPhase(
+                name,
+                batches,
+                self.start,
+                end_mix=self.end,
+                drift_scale=drift_scale,
+                drift_start=drift_start,
+                rate_hint=rate_hint,
+            )
+        ]
+
+
+@dataclass(frozen=True)
+class Spike(MixSchedule):
+    """Rise from ``base`` to ``peak`` and fall back within one segment.
+
+    Compiles to a rise phase and a fall phase with the same name: the rise
+    covers the first ``ceil(batches / 2)`` batches ending at the peak mix,
+    the fall covers the rest returning to the base mix (the peak is held for
+    the two adjoining batches).  A single-batch segment jumps straight to
+    the peak.
+    """
+
+    base: Mix
+    peak: Mix
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "base", _check_mix(self.base, "Spike base"))
+        object.__setattr__(self, "peak", _check_mix(self.peak, "Spike peak"))
+
+    def to_phases(self, name, batches, drift_start, drift_scale, rate_hint):
+        rise = (batches + 1) // 2
+        fall = batches - rise
+        # Split the segment's total drift movement proportionally between
+        # the two compiled phases.  Each phase ramps internally over its own
+        # batches, so the offset is piecewise linear and holds still across
+        # the two adjoining peak batches — not one straight line.
+        rise_scale = drift_scale * (rise / batches)
+        phases = [
+            StreamPhase(
+                name,
+                rise,
+                self.base,
+                end_mix=self.peak,
+                drift_scale=rise_scale,
+                drift_start=drift_start,
+                rate_hint=rate_hint,
+            )
+        ]
+        if fall:
+            phases.append(
+                StreamPhase(
+                    name,
+                    fall,
+                    self.peak,
+                    end_mix=self.base,
+                    drift_scale=drift_scale - rise_scale,
+                    drift_start=drift_start + rise_scale,
+                    rate_hint=rate_hint,
+                )
+            )
+        return phases
+
+
+@dataclass(frozen=True)
+class Drift:
+    """Covariate-shift schedule for one segment.
+
+    ``Drift(to=1.5)`` ramps the numeric-feature offset linearly from the
+    running offset (whatever the previous segments accumulated) up to 1.5
+    over the segment.  ``Drift(to=x, start=s)`` first jumps the running
+    offset to ``s`` at the segment boundary — the only way to move *down*,
+    e.g. ``Drift(to=0.0, start=0.0)`` models a recalibrated sensor.  Within
+    a segment drift is monotone non-decreasing (``to >= start``), matching
+    the :class:`StreamPhase` contract.
+    """
+
+    to: float
+    start: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.to < 0 or (self.start is not None and self.start < 0):
+            raise ValueError("drift offsets must be non-negative")
+        if self.start is not None and self.to < self.start:
+            raise ValueError(
+                "drift is monotone within a segment: to must be >= start "
+                "(jump down with an explicit start= instead)"
+            )
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One named episode of a scenario, declared as data.
+
+    Parameters
+    ----------
+    name:
+        Phase label attached to every batch (per-phase monitoring key).
+    batches:
+        Number of record batches the segment emits.
+    mix:
+        A :class:`MixSchedule`, or a plain mapping (shorthand for
+        :class:`Constant`).
+    drift:
+        Optional :class:`Drift` schedule.  Omitted, the segment *holds* the
+        drift offset accumulated so far.
+    rate_hint:
+        Advisory records/second intent carried onto the compiled phases
+        (see :class:`StreamPhase`).
+    """
+
+    name: str
+    batches: int
+    mix: Union[MixSchedule, Mix]
+    drift: Optional[Drift] = None
+    rate_hint: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a segment needs a non-empty name")
+        if self.batches <= 0:
+            raise ValueError("a segment must emit at least one batch")
+        if not isinstance(self.mix, MixSchedule):
+            object.__setattr__(self, "mix", Constant(self.mix))
+        if self.rate_hint is not None and self.rate_hint <= 0:
+            raise ValueError("rate_hint must be positive when given")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """An ordered, immutable collection of :class:`Segment` values.
+
+    Scenarios compose with ``+`` (segment-list concatenation, drift offsets
+    re-threaded across the join) and compile to the exact
+    :class:`StreamPhase` list a :class:`TrafficStream` executes, so the
+    stream's determinism guarantee — same ``(generator, scenario,
+    batch_size, seed)``, same batches — holds by construction.
+    """
+
+    name: str
+    segments: Tuple[Segment, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "segments", tuple(self.segments))
+
+    def __add__(self, other: "Scenario") -> "Scenario":
+        if not isinstance(other, Scenario):
+            return NotImplemented
+        return Scenario(
+            name=f"{self.name}+{other.name}",
+            segments=self.segments + other.segments,
+        )
+
+    @property
+    def total_batches(self) -> int:
+        return sum(segment.batches for segment in self.segments)
+
+    def compile(self) -> List[StreamPhase]:
+        """Compile the segments into stream phases, threading drift."""
+        if not self.segments:
+            raise ValueError(f"scenario {self.name!r} has no segments")
+        phases: List[StreamPhase] = []
+        offset = 0.0
+        for segment in self.segments:
+            if segment.drift is None:
+                start, scale = offset, 0.0
+            else:
+                start = offset if segment.drift.start is None else segment.drift.start
+                if segment.drift.to < start:
+                    raise ValueError(
+                        f"segment {segment.name!r}: drift ramps down from the "
+                        f"running offset {start:g} to {segment.drift.to:g}; "
+                        "jump with Drift(start=...) instead"
+                    )
+                scale = segment.drift.to - start
+            phases.extend(
+                segment.mix.to_phases(
+                    segment.name, segment.batches, start, scale, segment.rate_hint
+                )
+            )
+            offset = start + scale
+        return phases
+
+    def build(
+        self,
+        generator: TrafficGenerator,
+        batch_size: int = 64,
+        seed: int = 0,
+    ) -> TrafficStream:
+        """Compile and wrap into a deterministic :class:`TrafficStream`."""
+        return TrafficStream(
+            generator, self.compile(), batch_size=batch_size, seed=seed
+        )
+
+
+class ScenarioBuilder:
+    """Fluent front-end over :class:`Scenario`.
+
+    ::
+
+        stream = (
+            ScenarioBuilder("demo")
+            .segment("baseline", batches=4, mix={"normal": 1.0})
+            .segment("burst", batches=3, mix=Spike({"normal": 1.0},
+                                                   {"normal": 0.3, "dos": 0.7}))
+            .build(generator, batch_size=64, seed=0)
+        )
+    """
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._segments: List[Segment] = []
+
+    def segment(
+        self,
+        name: str,
+        batches: int,
+        mix: Union[MixSchedule, Mix],
+        drift: Optional[Drift] = None,
+        rate_hint: Optional[float] = None,
+    ) -> "ScenarioBuilder":
+        """Append one segment; returns ``self`` for chaining."""
+        self._segments.append(Segment(name, batches, mix, drift, rate_hint))
+        return self
+
+    def scenario(self) -> Scenario:
+        """Freeze the accumulated segments into a :class:`Scenario`."""
+        return Scenario(self._name, tuple(self._segments))
+
+    def build(
+        self,
+        generator: TrafficGenerator,
+        batch_size: int = 64,
+        seed: int = 0,
+    ) -> TrafficStream:
+        return self.scenario().build(generator, batch_size=batch_size, seed=seed)

@@ -1,0 +1,141 @@
+"""Cross-dataset stream interleaving for multi-detector fleets.
+
+The paper evaluates NSL-KDD and UNSW-NB15 with separately trained
+detectors; a deployment runs both behind one front door and routes each
+submission to the detector trained on its sensor's schema.
+:class:`InterleavedStream` produces that workload: it round-robins the
+batches of several single-schema :class:`~repro.data.generator.TrafficStream`
+drivers into one feed, re-numbering the global batch index and prefixing
+every phase label with its corpus name (``nsl-kdd:syn-flood``) so per-phase
+reports stay separable after the merge.
+
+The feed plugs straight into a dataset-routed
+:class:`~repro.serving.sharding.ShardedDetectionService`: the router reads
+``records.schema.name`` per submission, so every batch lands on the shard
+fitted for its corpus.  Like the underlying streams, an interleaved stream
+is deterministic and re-iterable — every iteration replays the identical
+batch sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence
+
+from ..core.detector import PelicanDetector
+from ..data.generator import StreamBatch, TrafficStream
+from ..serving.service import DetectionService
+from ..serving.sharding import ShardedDetectionService, ShardRouter
+
+__all__ = ["InterleavedStream", "build_fleet_service", "validate_detector_keys"]
+
+
+def validate_detector_keys(detectors: Mapping[str, PelicanDetector]) -> None:
+    """Check every detector is keyed by the schema name it was fitted on."""
+    for name, detector in detectors.items():
+        if detector.schema.name != name:
+            raise ValueError(
+                f"detector keyed {name!r} was fitted on schema "
+                f"{detector.schema.name!r}"
+            )
+
+
+class InterleavedStream:
+    """Round-robin interleaving of several :class:`TrafficStream` drivers.
+
+    Parameters
+    ----------
+    streams:
+        The single-schema streams to interleave.  They may have different
+        lengths; once a stream is exhausted the remaining ones keep taking
+        turns.
+    names:
+        Per-stream label prefixed onto phase names (default: the stream's
+        schema name, suffixed with ``#index`` when duplicated).
+    """
+
+    def __init__(
+        self,
+        streams: Sequence[TrafficStream],
+        names: Optional[Sequence[str]] = None,
+    ) -> None:
+        if not streams:
+            raise ValueError("an interleaved stream needs at least one stream")
+        self.streams = list(streams)
+        if names is None:
+            names = [stream.schema.name for stream in self.streams]
+            seen: Dict[str, int] = {}
+            for index, name in enumerate(names):
+                count = seen.get(name, 0)
+                if count:
+                    names[index] = f"{name}#{count}"
+                seen[name] = count + 1
+        elif len(names) != len(self.streams):
+            raise ValueError("names must be index-aligned with streams")
+        self.names = list(names)
+
+    @property
+    def schemas(self):
+        return [stream.schema for stream in self.streams]
+
+    @property
+    def total_batches(self) -> int:
+        return sum(stream.total_batches for stream in self.streams)
+
+    @property
+    def total_records(self) -> int:
+        return sum(stream.total_records for stream in self.streams)
+
+    def __iter__(self) -> Iterator[StreamBatch]:
+        return self.batches()
+
+    def batches(self) -> Iterator[StreamBatch]:
+        """Yield the interleaved batches (deterministic and re-iterable)."""
+        iterators: List[Optional[Iterator[StreamBatch]]] = [
+            stream.batches() for stream in self.streams
+        ]
+        index = 0
+        while any(iterator is not None for iterator in iterators):
+            for position, iterator in enumerate(iterators):
+                if iterator is None:
+                    continue
+                try:
+                    batch = next(iterator)
+                except StopIteration:
+                    iterators[position] = None
+                    continue
+                yield replace(
+                    batch,
+                    phase=f"{self.names[position]}:{batch.phase}",
+                    index=index,
+                )
+                index += 1
+
+
+def build_fleet_service(
+    detectors: Mapping[str, PelicanDetector],
+    **service_kwargs,
+) -> ShardedDetectionService:
+    """One dataset-routed shard per fitted detector, keyed by schema name.
+
+    ``detectors`` maps dataset name (``"nsl-kdd"``, ``"unsw-nb15"``) to a
+    fitted detector; the returned
+    :class:`~repro.serving.sharding.ShardedDetectionService` routes every
+    submission to the shard whose detector was trained on that schema, and
+    raises on traffic from a corpus no detector covers (routing gaps fail
+    loudly).  Extra keyword arguments go to each shard's
+    :class:`~repro.serving.service.DetectionService`.
+    """
+    if not detectors:
+        raise ValueError("a fleet needs at least one detector")
+    validate_detector_keys(detectors)
+    names = list(detectors)
+    shards = [
+        DetectionService(detectors[name], **service_kwargs) for name in names
+    ]
+    router = ShardRouter(
+        len(names),
+        "dataset",
+        assignment={name: index for index, name in enumerate(names)},
+    )
+    return ShardedDetectionService(shards, router, names=names)

@@ -1,0 +1,351 @@
+"""The scenario library: named presets declared as segment data.
+
+Every preset is a plain function returning a ready-to-serve stream, built
+from :class:`~repro.scenarios.builder.Segment` declarations rather than
+hand-rolled phase lists.  The vocabulary follows the dpdk_100g attack
+generator taxonomy: volumetric floods (:func:`flood_scenario`),
+low-and-slow reconnaissance (:func:`probe_sweep_scenario`), slow-rate DoS
+below volumetric thresholds (:func:`slow_dos_scenario`), operating-prior
+shifts (:func:`imbalance_shift_scenario`) and a cross-dataset fleet feed
+(:func:`fleet_scenario`).  All presets are deterministic for a given seed
+and re-iterable; ``docs/SCENARIOS.md`` documents each one.
+
+``flood_scenario`` and ``probe_sweep_scenario`` predate this package (they
+lived on :class:`~repro.data.generator.TrafficStream`); their classmethod
+spellings remain as thin wrappers and both implementations are
+batch-for-batch identical to the pre-refactor phase lists.
+
+Advisory rate hints use a records/second scale where ``RATE_BASELINE``
+stands for the ambient benign load; flood segments hint far above it and
+slow-DoS segments sit at or below it — the low-PPS pattern that volumetric
+thresholds miss.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..data.generator import TrafficGenerator, TrafficStream
+from .builder import Constant, Drift, Ramp, Scenario, Segment, Spike
+from .fleet import InterleavedStream
+
+__all__ = [
+    "RATE_BASELINE",
+    "RATE_FLOOD",
+    "RATE_SLOW",
+    "flood_scenario",
+    "probe_sweep_scenario",
+    "imbalance_shift_scenario",
+    "slow_dos_scenario",
+    "fleet_scenario",
+    "SINGLE_STREAM_PRESETS",
+]
+
+#: Advisory pacing hints (records/second) for replay harnesses.
+RATE_BASELINE = 800.0
+RATE_FLOOD = 4000.0
+RATE_SLOW = 250.0
+
+
+def _pick_attack(
+    generator: TrafficGenerator,
+    requested: Optional[str],
+    preferred: Sequence[str],
+    kind: str,
+) -> str:
+    attacks = generator.schema.attack_classes
+    if requested is None:
+        matches = [name for name in preferred if name in attacks]
+        return matches[0] if matches else attacks[0]
+    if requested not in attacks:
+        raise ValueError(f"unknown {kind} class {requested!r}; choices: {attacks}")
+    return requested
+
+
+def flood_scenario(
+    generator: TrafficGenerator,
+    batch_size: int = 64,
+    seed: int = 0,
+    attack_class: Optional[str] = None,
+    baseline_batches: int = 6,
+    burst_batches: int = 4,
+    attack_fraction: float = 0.7,
+    drift_batches: int = 6,
+    drift_scale: float = 1.5,
+) -> TrafficStream:
+    """Benign baseline, three volumetric flood bursts, then gradual drift.
+
+    The bursts are named after the classic volumetric DDoS patterns
+    (SYN / UDP / HTTP flood, cf. the dpdk_100g traffic generator) and are
+    realised with the schema's DoS-style class at ``attack_fraction`` of
+    the batch, mixed with decreasing amounts of benign and secondary attack
+    traffic.  The final phase ramps an attack back in *gradually* while
+    also drifting the numeric features.
+    """
+    normal = generator.schema.normal_class
+    attack = _pick_attack(generator, attack_class, ("dos",), "attack")
+    secondary = [name for name in generator.schema.attack_classes if name != attack]
+    benign = {normal: 1.0}
+    flood = {normal: 1.0 - attack_fraction, attack: attack_fraction}
+    mixed_flood = {
+        normal: 1.0 - attack_fraction,
+        attack: attack_fraction * (0.8 if secondary else 1.0),
+    }
+    if secondary:
+        mixed_flood[secondary[0]] = attack_fraction * 0.2
+    scenario = Scenario(
+        "flood",
+        (
+            Segment("benign-baseline", baseline_batches, Constant(benign),
+                    rate_hint=RATE_BASELINE),
+            Segment("syn-flood", burst_batches, Constant(flood),
+                    rate_hint=RATE_FLOOD),
+            Segment("recovery", max(baseline_batches // 2, 1), Constant(benign),
+                    rate_hint=RATE_BASELINE),
+            Segment("udp-flood", burst_batches, Constant(mixed_flood),
+                    rate_hint=RATE_FLOOD),
+            Segment("http-flood", burst_batches, Constant(flood),
+                    rate_hint=RATE_FLOOD),
+            Segment(
+                "gradual-drift",
+                drift_batches,
+                Ramp(benign, {normal: 0.6, attack: 0.4}),
+                drift=Drift(to=drift_scale),
+                rate_hint=RATE_BASELINE,
+            ),
+        ),
+    )
+    return scenario.build(generator, batch_size=batch_size, seed=seed)
+
+
+def probe_sweep_scenario(
+    generator: TrafficGenerator,
+    batch_size: int = 64,
+    seed: int = 0,
+    probe_class: Optional[str] = None,
+    baseline_batches: int = 4,
+    sweep_batches: int = 8,
+    scan_batches: int = 3,
+    sweep_fraction: float = 0.15,
+    scan_fraction: float = 0.5,
+) -> TrafficStream:
+    """Low-and-slow reconnaissance instead of a flood.
+
+    Mirrors the scanning half of the dpdk_100g attack taxonomy: a long
+    *horizontal sweep* ramps probe traffic in gradually at a low rate (the
+    low-and-slow pattern volumetric thresholds miss), a short *vertical
+    scan* burst concentrates it, and a final *family-mix* phase pairs the
+    probe class with a secondary attack family — the workload that
+    exercises per-class-family shard routing, since no single-family shard
+    sees the whole picture.
+    """
+    normal = generator.schema.normal_class
+    probe = _pick_attack(
+        generator, probe_class, ("probe", "reconnaissance", "analysis"), "probe"
+    )
+    secondary = [name for name in generator.schema.attack_classes if name != probe]
+    benign = {normal: 1.0}
+    sweep = {normal: 1.0 - sweep_fraction, probe: sweep_fraction}
+    scan = {normal: 1.0 - scan_fraction, probe: scan_fraction}
+    family_mix = {normal: 0.6, probe: 0.4 * (0.5 if secondary else 1.0)}
+    if secondary:
+        family_mix[secondary[0]] = 0.2
+    scenario = Scenario(
+        "probe-sweep",
+        (
+            Segment("benign-baseline", baseline_batches, Constant(benign),
+                    rate_hint=RATE_BASELINE),
+            Segment("horizontal-sweep", sweep_batches, Ramp(benign, sweep),
+                    rate_hint=RATE_SLOW),
+            Segment("vertical-scan", scan_batches, Constant(scan),
+                    rate_hint=RATE_BASELINE),
+            Segment("quiet", max(baseline_batches // 2, 1), Constant(benign),
+                    rate_hint=RATE_BASELINE),
+            Segment("family-mix", scan_batches, Constant(family_mix),
+                    rate_hint=RATE_BASELINE),
+        ),
+    )
+    return scenario.build(generator, batch_size=batch_size, seed=seed)
+
+
+def imbalance_shift_scenario(
+    generator: TrafficGenerator,
+    batch_size: int = 64,
+    seed: int = 0,
+    attack_class: Optional[str] = None,
+    benign_prior: float = 0.95,
+    attack_prior: float = 0.8,
+    steady_batches: int = 6,
+    flip_batches: int = 2,
+) -> TrafficStream:
+    """Class-imbalance shift: the benign/attack prior flips mid-stream.
+
+    Detectors are trained under the corpora's heavy benign majority; this
+    scenario serves that operating point (``benign_prior`` benign) and then
+    flips the prior over a short ramp until attacks dominate
+    (``attack_prior`` attack) — a mass campaign, or a sensor repositioned
+    behind a scrubbing tier.  The mix then flips back and holds, so a
+    monitor can be read at both operating points and across both
+    transitions.  The per-record feature distributions never change: any
+    DR/FAR movement is purely the prior shift, which is what makes the
+    preset a clean regression probe for threshold-style detectors.
+    """
+    if not 0.5 < benign_prior < 1.0:
+        raise ValueError("benign_prior must be in (0.5, 1)")
+    if not 0.5 < attack_prior < 1.0:
+        raise ValueError("attack_prior must be in (0.5, 1)")
+    normal = generator.schema.normal_class
+    attack = _pick_attack(generator, attack_class, ("dos",), "attack")
+    benign_majority = {normal: benign_prior, attack: 1.0 - benign_prior}
+    attack_majority = {normal: 1.0 - attack_prior, attack: attack_prior}
+    scenario = Scenario(
+        "imbalance-shift",
+        (
+            Segment("benign-majority", steady_batches, Constant(benign_majority),
+                    rate_hint=RATE_BASELINE),
+            Segment("prior-flip", flip_batches,
+                    Ramp(benign_majority, attack_majority),
+                    rate_hint=RATE_BASELINE),
+            Segment("attack-majority", steady_batches, Constant(attack_majority),
+                    rate_hint=RATE_BASELINE),
+            Segment("flip-back", flip_batches,
+                    Ramp(attack_majority, benign_majority),
+                    rate_hint=RATE_BASELINE),
+            Segment("restored", max(steady_batches // 2, 1),
+                    Constant(benign_majority), rate_hint=RATE_BASELINE),
+        ),
+    )
+    return scenario.build(generator, batch_size=batch_size, seed=seed)
+
+
+def slow_dos_scenario(
+    generator: TrafficGenerator,
+    batch_size: int = 64,
+    seed: int = 0,
+    attack_class: Optional[str] = None,
+    baseline_batches: int = 4,
+    creep_batches: int = 6,
+    hold_batches: int = 12,
+    spike_batches: int = 4,
+    attack_fraction: float = 0.08,
+    spike_fraction: float = 0.5,
+) -> TrafficStream:
+    """Slow-rate DoS: a long-lived attack far below flood mix ratios.
+
+    The dpdk_100g low-PPS pattern: where :func:`flood_scenario` pushes the
+    attack class to 70 % of the mix, a slow-rate DoS (slowloris, slow-read)
+    holds a handful of long-lived malicious flows inside overwhelming
+    benign traffic.  The attack *creeps* in over ``creep_batches``, then
+    holds at ``attack_fraction`` (default 8 %) for the longest segment of
+    the scenario — long-lived is the point — briefly escalates in a spike
+    (the attacker probing whether anyone noticed; still below flood
+    intensity), drops back to the slow rate and finally releases.  Rate
+    hints mark the attack segments at ``RATE_SLOW``, the advisory low-PPS
+    intent a replay harness would pace to.
+    """
+    if not 0.0 < attack_fraction < 0.3:
+        raise ValueError(
+            "attack_fraction must be in (0, 0.3): a slow-rate DoS stays far "
+            "below flood mix ratios"
+        )
+    if not attack_fraction < spike_fraction <= 0.6:
+        raise ValueError(
+            "spike_fraction must exceed attack_fraction and stay at or below "
+            "0.6 (below flood intensity)"
+        )
+    normal = generator.schema.normal_class
+    attack = _pick_attack(generator, attack_class, ("dos",), "attack")
+    benign = {normal: 1.0}
+    slow = {normal: 1.0 - attack_fraction, attack: attack_fraction}
+    spike_peak = {normal: 1.0 - spike_fraction, attack: spike_fraction}
+    scenario = Scenario(
+        "slow-dos",
+        (
+            Segment("benign-baseline", baseline_batches, Constant(benign),
+                    rate_hint=RATE_BASELINE),
+            Segment("slow-creep", creep_batches, Ramp(benign, slow),
+                    rate_hint=RATE_SLOW),
+            Segment("low-and-slow", hold_batches, Constant(slow),
+                    rate_hint=RATE_SLOW),
+            Segment("escalation-spike", spike_batches, Spike(slow, spike_peak),
+                    rate_hint=RATE_BASELINE),
+            Segment("slow-tail", max(hold_batches // 3, 1), Constant(slow),
+                    rate_hint=RATE_SLOW),
+            Segment("release", max(baseline_batches // 2, 1), Constant(benign),
+                    rate_hint=RATE_BASELINE),
+        ),
+    )
+    return scenario.build(generator, batch_size=batch_size, seed=seed)
+
+
+def fleet_scenario(
+    generators: Optional[Sequence[TrafficGenerator]] = None,
+    batch_size: int = 64,
+    seed: int = 0,
+    baseline_batches: int = 3,
+    burst_batches: int = 3,
+    sweep_batches: int = 4,
+) -> InterleavedStream:
+    """Cross-dataset fleet feed: NSL-KDD and UNSW-NB15 traffic interleaved.
+
+    Builds one compact scenario per corpus — benign baseline, a volumetric
+    DoS burst, a low-and-slow reconnaissance ramp, recovery — and
+    round-robins their batches into a single
+    :class:`~repro.scenarios.fleet.InterleavedStream`.  Phase names come
+    back prefixed with the corpus (``nsl-kdd:dos-burst``), and because each
+    batch keeps its own schema the feed drives a dataset-routed
+    :class:`~repro.serving.sharding.ShardedDetectionService` (see
+    :func:`~repro.scenarios.fleet.build_fleet_service`) — the ROADMAP's
+    two-corpus fleet, as a reusable preset.
+
+    ``generators`` defaults to the canonical NSL-KDD and UNSW-NB15
+    populations; pass your own sequence to change corpora or difficulty.
+    Sub-streams get distinct seeds derived from ``seed`` so the corpora are
+    independent draws.
+    """
+    if generators is None:
+        from ..data.nslkdd import nslkdd_generator
+        from ..data.unswnb15 import unswnb15_generator
+
+        generators = (nslkdd_generator(), unswnb15_generator())
+    if not generators:
+        raise ValueError("fleet_scenario needs at least one generator")
+
+    streams = []
+    for position, generator in enumerate(generators):
+        normal = generator.schema.normal_class
+        dos = _pick_attack(generator, None, ("dos",), "attack")
+        probe = _pick_attack(
+            generator, None, ("probe", "reconnaissance", "analysis"), "probe"
+        )
+        benign = {normal: 1.0}
+        burst = {normal: 0.4, dos: 0.6}
+        sweep = {normal: 0.8, probe: 0.2}
+        scenario = Scenario(
+            f"fleet-{generator.schema.name}",
+            (
+                Segment("benign-baseline", baseline_batches, Constant(benign),
+                        rate_hint=RATE_BASELINE),
+                Segment("dos-burst", burst_batches, Constant(burst),
+                        rate_hint=RATE_FLOOD),
+                Segment("recon-sweep", sweep_batches, Ramp(benign, sweep),
+                        rate_hint=RATE_SLOW),
+                Segment("recovery", max(baseline_batches // 2, 1),
+                        Constant(benign), rate_hint=RATE_BASELINE),
+            ),
+        )
+        streams.append(
+            scenario.build(generator, batch_size=batch_size, seed=seed + position)
+        )
+    return InterleavedStream(streams)
+
+
+#: Single-schema presets the :class:`~repro.scenarios.suite.ScenarioSuite`
+#: sweeps by default (``fleet`` is handled separately: it needs one detector
+#: per corpus).
+SINGLE_STREAM_PRESETS = {
+    "flood": flood_scenario,
+    "probe-sweep": probe_sweep_scenario,
+    "imbalance-shift": imbalance_shift_scenario,
+    "slow-dos": slow_dos_scenario,
+}

@@ -1,0 +1,229 @@
+"""Scenario regression suite: every preset, every execution model.
+
+:class:`ScenarioSuite` sweeps the scenario library through the serving
+tier's execution models and collects per-scenario, per-phase quality and
+throughput rows — the scenario-side counterpart of the serving benchmark's
+``BENCH_serving.json`` baseline:
+
+* single-schema presets (flood, probe-sweep, imbalance-shift, slow-dos)
+  run **synchronous** (:class:`~repro.serving.service.DetectionService`),
+  **worker-pool** (:class:`~repro.serving.workers.WorkerPool`) and
+  **sharded** (replica :class:`~repro.serving.sharding.ShardedDetectionService`);
+* the cross-dataset **fleet** preset runs on a dataset-routed sharded
+  service — inline and with per-shard worker pools — since a single
+  service cannot preprocess two schemas.
+
+Every row carries the serving layer's ordering guarantees, so for a given
+scenario the worker-pool and replica-sharded confusion counts are expected
+to equal the synchronous run's bit for bit; ``benchmarks/
+test_bench_scenarios.py`` asserts exactly that and writes the rows to
+``BENCH_scenarios.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional
+
+from ..core.detector import PelicanDetector
+from ..data.nslkdd import nslkdd_generator
+from ..data.unswnb15 import unswnb15_generator
+from ..serving.service import DetectionService, ServiceReport
+from ..serving.sharding import ShardedDetectionService
+from ..serving.workers import WorkerPool
+from .fleet import build_fleet_service, validate_detector_keys
+from .presets import SINGLE_STREAM_PRESETS, fleet_scenario
+
+__all__ = ["ScenarioSuite", "report_row"]
+
+#: Generator factories per schema name (the canonical synthetic populations).
+_GENERATOR_FACTORIES = {
+    "nsl-kdd": nslkdd_generator,
+    "unsw-nb15": unswnb15_generator,
+}
+
+SINGLE_STREAM_MODELS = ("synchronous", "worker-pool", "sharded")
+FLEET_MODELS = ("sharded", "sharded-workers")
+
+
+def _quality(report) -> Dict[str, float]:
+    return {
+        "records": report.total,
+        "tp": report.tp,
+        "tn": report.tn,
+        "fp": report.fp,
+        "fn": report.fn,
+        "dr": report.detection_rate,
+        "far": report.false_alarm_rate,
+        "acc": report.accuracy,
+    }
+
+
+def report_row(report: ServiceReport) -> Dict[str, object]:
+    """Flatten a :class:`ServiceReport` into a JSON-able suite row."""
+    row: Dict[str, object] = {
+        "records": report.records,
+        "batches": report.batches,
+        "throughput_rps": report.throughput,
+        "mean_latency_s": report.mean_latency,
+        "p95_latency_s": report.p95_latency,
+        "phases": {
+            phase: _quality(phase_report)
+            for phase, phase_report in report.phase_reports.items()
+        },
+    }
+    if report.rolling is not None:
+        row["overall"] = _quality(report.rolling)
+    return row
+
+
+class ScenarioSuite:
+    """Sweep scenario presets across the serving execution models.
+
+    Parameters
+    ----------
+    detectors:
+        Fitted detectors keyed by schema name.  Single-schema presets run
+        against the first entry; the fleet preset runs when every corpus it
+        interleaves has a detector (with the default generators: both
+        ``"nsl-kdd"`` and ``"unsw-nb15"``).
+    batch_size / seed:
+        Forwarded to every preset, so the suite's streams are deterministic
+        and a re-run scores the identical records.
+    window:
+        Rolling-monitor width; the default is wide enough that no suite
+        stream overflows it and the reported counts are exact totals.
+    num_workers:
+        Worker threads for the worker-pool model (and per shard in the
+        ``sharded-workers`` fleet model).
+    replica_shards:
+        Shard count for the replica-sharded model.
+    scenarios:
+        Override the single-schema preset registry (name → factory taking
+        ``(generator, batch_size=..., seed=...)``); tests use this to
+        inject trimmed scenarios.
+    include_fleet:
+        Set ``False`` to skip the cross-dataset preset even when both
+        detectors are available.
+    """
+
+    def __init__(
+        self,
+        detectors: Mapping[str, PelicanDetector],
+        batch_size: int = 64,
+        seed: int = 0,
+        window: int = 1 << 20,
+        num_workers: int = 2,
+        replica_shards: int = 2,
+        scenarios: Optional[Mapping[str, Callable]] = None,
+        include_fleet: bool = True,
+    ) -> None:
+        if not detectors:
+            raise ValueError("ScenarioSuite needs at least one fitted detector")
+        validate_detector_keys(detectors)
+        self.detectors = dict(detectors)
+        self.batch_size = int(batch_size)
+        self.seed = int(seed)
+        self.window = int(window)
+        self.num_workers = int(num_workers)
+        self.replica_shards = int(replica_shards)
+        self.scenarios = dict(
+            scenarios if scenarios is not None else SINGLE_STREAM_PRESETS
+        )
+        self.include_fleet = bool(include_fleet)
+
+    # ------------------------------------------------------------------ #
+    def _service(self, detector: PelicanDetector) -> DetectionService:
+        return DetectionService(
+            detector,
+            max_batch_size=max(self.batch_size, 1),
+            flush_interval=0.0,
+            window=self.window,
+        )
+
+    def _run_model(self, detector: PelicanDetector, stream, model: str):
+        if model == "synchronous":
+            return self._service(detector).run_stream(stream)
+        if model == "worker-pool":
+            return WorkerPool(
+                self._service(detector), num_workers=self.num_workers
+            ).run_stream(stream)
+        if model == "sharded":
+            sharded = ShardedDetectionService.replicated(
+                detector,
+                self.replica_shards,
+                max_batch_size=max(self.batch_size, 1),
+                flush_interval=0.0,
+                window=self.window,
+            )
+            return sharded.run_stream(stream)
+        raise ValueError(f"unknown execution model {model!r}")
+
+    def _fleet_service(self) -> ShardedDetectionService:
+        return build_fleet_service(
+            self.detectors,
+            max_batch_size=max(self.batch_size, 1),
+            flush_interval=0.0,
+            window=self.window,
+        )
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> Dict[str, object]:
+        """Execute the sweep and return the JSON-able result tree."""
+        primary_name = next(iter(self.detectors))
+        primary = self.detectors[primary_name]
+        generator_factory = _GENERATOR_FACTORIES.get(primary_name)
+        if generator_factory is None:
+            raise ValueError(
+                f"no generator factory for schema {primary_name!r}; known: "
+                f"{sorted(_GENERATOR_FACTORIES)}"
+            )
+        generator = generator_factory()
+
+        results: Dict[str, object] = {
+            "batch_size": self.batch_size,
+            "seed": self.seed,
+            "window": self.window,
+            "num_workers": self.num_workers,
+            "replica_shards": self.replica_shards,
+            "scenarios": {},
+        }
+        for name, factory in self.scenarios.items():
+            stream = factory(
+                generator, batch_size=self.batch_size, seed=self.seed
+            )
+            entry = {
+                "dataset": primary_name,
+                "total_batches": stream.total_batches,
+                "total_records": stream.total_records,
+                "rate_hints": {
+                    phase.name: phase.rate_hint
+                    for phase in stream.phases
+                    if phase.rate_hint is not None
+                },
+                "models": {},
+            }
+            for model in SINGLE_STREAM_MODELS:
+                report = self._run_model(primary, stream, model)
+                entry["models"][model] = report_row(report)
+            results["scenarios"][name] = entry
+
+        if self.include_fleet:
+            fleet_stream = fleet_scenario(
+                batch_size=self.batch_size, seed=self.seed
+            )
+            needed = {schema.name for schema in fleet_stream.schemas}
+            if needed <= set(self.detectors):
+                entry = {
+                    "dataset": "+".join(sorted(needed)),
+                    "total_batches": fleet_stream.total_batches,
+                    "total_records": fleet_stream.total_records,
+                    "models": {},
+                }
+                for model in FLEET_MODELS:
+                    workers = self.num_workers if model == "sharded-workers" else 0
+                    report = self._fleet_service().run_stream(
+                        fleet_stream, num_workers=workers
+                    )
+                    entry["models"][model] = report_row(report)
+                results["scenarios"]["fleet"] = entry
+        return results

@@ -38,10 +38,13 @@ Three execution models run on that path:
   and with replica routing the merged confusion counts equal the
   single-service run on the same stream.
 
-Workloads come from :class:`repro.data.TrafficStream` — the episodic
-flood/drift scenario driver plus the low-and-slow ``probe_sweep_scenario``
-— and ``examples/streaming_detection.py`` / ``examples/concurrent_serving.py``
-show the end-to-end wiring.
+Workloads come from the :mod:`repro.scenarios` library — declarative
+episodes compiled onto the :class:`repro.data.TrafficStream` driver:
+floods, low-and-slow probes, slow-rate DoS, class-imbalance shifts and the
+cross-dataset fleet feed.  ``examples/streaming_detection.py``,
+``examples/concurrent_serving.py`` and ``examples/cross_dataset_fleet.py``
+show the end-to-end wiring, and ``repro.scenarios.ScenarioSuite`` sweeps
+every preset across the three execution models.
 """
 
 from .batching import MicroBatcher

@@ -1,0 +1,207 @@
+"""Tests for the declarative scenario builder (segments, schedules, drift)."""
+
+import numpy as np
+import pytest
+
+from repro.data import StreamPhase, TrafficStream, nslkdd_generator
+from repro.scenarios import (
+    Constant,
+    Drift,
+    Ramp,
+    Scenario,
+    ScenarioBuilder,
+    Segment,
+    Spike,
+)
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return nslkdd_generator(seed=5)
+
+
+BENIGN = {"normal": 1.0}
+FLOOD = {"normal": 0.3, "dos": 0.7}
+
+
+class TestMixSchedules:
+    def test_constant_compiles_to_one_phase(self):
+        (phase,) = Scenario("s", (Segment("a", 3, Constant(BENIGN)),)).compile()
+        assert phase == StreamPhase("a", 3, BENIGN)
+
+    def test_plain_mapping_is_constant_shorthand(self):
+        segment = Segment("a", 2, BENIGN)
+        assert isinstance(segment.mix, Constant)
+        assert segment.mix.mix == BENIGN
+
+    def test_ramp_compiles_to_end_mix_phase(self):
+        (phase,) = Scenario("s", (Segment("r", 4, Ramp(BENIGN, FLOOD)),)).compile()
+        assert phase == StreamPhase("r", 4, BENIGN, end_mix=FLOOD)
+
+    def test_spike_compiles_to_rise_and_fall_with_one_name(self):
+        rise, fall = Scenario(
+            "s", (Segment("burst", 5, Spike(BENIGN, FLOOD)),)
+        ).compile()
+        assert rise.name == fall.name == "burst"
+        assert (rise.batches, fall.batches) == (3, 2)
+        assert rise.mix == BENIGN and rise.end_mix == FLOOD
+        assert fall.mix == FLOOD and fall.end_mix == BENIGN
+
+    def test_single_batch_spike_jumps_to_the_peak(self, generator):
+        (phase,) = Scenario(
+            "s", (Segment("burst", 1, Spike(BENIGN, {"dos": 1.0})),)
+        ).compile()
+        stream = TrafficStream(generator, [phase], batch_size=16, seed=1)
+        (batch,) = list(stream)
+        assert set(batch.records.labels) == {"dos"}
+
+    def test_spike_mix_rises_then_falls(self, generator):
+        stream = Scenario(
+            "s", (Segment("burst", 5, Spike(BENIGN, FLOOD)),)
+        ).build(generator, batch_size=16, seed=2)
+        dos_weights = [batch.mix["dos"] for batch in stream]
+        assert dos_weights[0] < dos_weights[2]
+        assert dos_weights[2] == pytest.approx(0.7)
+        assert dos_weights[-1] < dos_weights[2]
+        assert all(batch.phase == "burst" for batch in stream)
+
+    def test_mix_validation(self):
+        with pytest.raises(ValueError, match="empty"):
+            Constant({})
+        with pytest.raises(ValueError, match="non-negative"):
+            Ramp(BENIGN, {"dos": -1.0})
+        with pytest.raises(ValueError, match="positive"):
+            Spike(BENIGN, {"dos": 0.0})
+
+
+class TestDriftThreading:
+    def test_drift_carries_across_segments(self):
+        phases = Scenario(
+            "s",
+            (
+                Segment("ramp-up", 4, BENIGN, drift=Drift(to=1.0)),
+                Segment("hold", 2, BENIGN),
+                Segment("ramp-more", 2, BENIGN, drift=Drift(to=2.5)),
+            ),
+        ).compile()
+        assert [(p.drift_start, p.drift_scale) for p in phases] == [
+            (0.0, 1.0),
+            (1.0, 0.0),
+            (1.0, 1.5),
+        ]
+
+    def test_drift_jump_resets_the_offset(self):
+        phases = Scenario(
+            "s",
+            (
+                Segment("up", 2, BENIGN, drift=Drift(to=2.0)),
+                Segment("recalibrated", 2, BENIGN, drift=Drift(to=0.0, start=0.0)),
+            ),
+        ).compile()
+        assert (phases[1].drift_start, phases[1].drift_scale) == (0.0, 0.0)
+
+    def test_ramping_down_without_a_jump_is_rejected(self):
+        scenario = Scenario(
+            "s",
+            (
+                Segment("up", 2, BENIGN, drift=Drift(to=2.0)),
+                Segment("down", 2, BENIGN, drift=Drift(to=1.0)),
+            ),
+        )
+        with pytest.raises(ValueError, match="ramps down"):
+            scenario.compile()
+
+    def test_drift_validation(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Drift(to=-1.0)
+        with pytest.raises(ValueError, match="monotone"):
+            Drift(to=0.5, start=1.0)
+
+    def test_held_drift_offsets_the_batches(self, generator):
+        def build(drift):
+            segments = (
+                Segment("up", 3, BENIGN, drift=drift),
+                Segment("after", 2, BENIGN),
+            )
+            return Scenario("s", segments).build(generator, batch_size=16, seed=6)
+
+        drifted = list(build(Drift(to=2.0)))
+        undrifted = list(build(None))
+        # The post-ramp segment keeps the full accumulated offset.
+        delta = drifted[-1].records.numeric - undrifted[-1].records.numeric
+        assert np.abs(delta).max() > 0
+        np.testing.assert_allclose(
+            delta, np.broadcast_to(delta[0], delta.shape), atol=1e-8
+        )
+
+    def test_spike_splits_the_drift_ramp_proportionally(self):
+        rise, fall = Scenario(
+            "s",
+            (Segment("burst", 4, Spike(BENIGN, FLOOD), drift=Drift(to=1.0)),),
+        ).compile()
+        assert rise.drift_start == 0.0
+        assert rise.drift_scale == pytest.approx(0.5)
+        assert fall.drift_start == pytest.approx(0.5)
+        assert fall.drift_scale == pytest.approx(0.5)
+
+
+class TestScenario:
+    def test_segment_validation(self):
+        with pytest.raises(ValueError, match="name"):
+            Segment("", 1, BENIGN)
+        with pytest.raises(ValueError, match="at least one batch"):
+            Segment("a", 0, BENIGN)
+        with pytest.raises(ValueError, match="rate_hint"):
+            Segment("a", 1, BENIGN, rate_hint=0.0)
+
+    def test_empty_scenario_fails_to_compile(self):
+        with pytest.raises(ValueError, match="no segments"):
+            Scenario("empty").compile()
+
+    def test_scenarios_compose_with_plus(self):
+        first = Scenario("warmup", (Segment("a", 2, BENIGN),))
+        second = Scenario("attack", (Segment("b", 3, FLOOD),))
+        combined = first + second
+        assert combined.name == "warmup+attack"
+        assert [s.name for s in combined.segments] == ["a", "b"]
+        assert combined.total_batches == 5
+
+    def test_rate_hint_lands_on_the_compiled_phases(self):
+        (phase,) = Scenario(
+            "s", (Segment("a", 2, BENIGN, rate_hint=250.0),)
+        ).compile()
+        assert phase.rate_hint == 250.0
+
+    def test_build_is_deterministic(self, generator):
+        scenario = Scenario(
+            "s",
+            (
+                Segment("a", 2, BENIGN),
+                Segment("b", 3, Spike(BENIGN, FLOOD), drift=Drift(to=0.5)),
+            ),
+        )
+        first = list(scenario.build(generator, batch_size=16, seed=3))
+        second = list(scenario.build(generator, batch_size=16, seed=3))
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a.records.numeric, b.records.numeric)
+            np.testing.assert_array_equal(a.records.labels, b.records.labels)
+
+    def test_builder_fluent_front_end_matches_scenario(self, generator):
+        built = (
+            ScenarioBuilder("demo")
+            .segment("a", 2, BENIGN)
+            .segment("b", 2, Ramp(BENIGN, FLOOD), drift=Drift(to=1.0))
+            .scenario()
+        )
+        declared = Scenario(
+            "demo",
+            (
+                Segment("a", 2, BENIGN),
+                Segment("b", 2, Ramp(BENIGN, FLOOD), drift=Drift(to=1.0)),
+            ),
+        )
+        assert built.compile() == declared.compile()
+        stream = ScenarioBuilder("demo").segment("a", 2, BENIGN).build(
+            generator, batch_size=8, seed=1
+        )
+        assert stream.total_batches == 2

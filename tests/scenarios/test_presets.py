@@ -1,0 +1,277 @@
+"""Tests for the scenario library presets.
+
+Covers the two relocated presets (wrapper equivalence against their
+pre-refactor output, golden phase lists copied verbatim from the old
+``TrafficStream`` classmethods), the two new single-stream presets
+(imbalance shift, slow-rate DoS) and the cross-dataset fleet feed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    StreamPhase,
+    TrafficStream,
+    nslkdd_generator,
+    unswnb15_generator,
+)
+from repro.scenarios import (
+    RATE_SLOW,
+    InterleavedStream,
+    SINGLE_STREAM_PRESETS,
+    fleet_scenario,
+    flood_scenario,
+    imbalance_shift_scenario,
+    probe_sweep_scenario,
+    slow_dos_scenario,
+)
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return nslkdd_generator(seed=5)
+
+
+def assert_streams_identical(first, second):
+    a_batches, b_batches = list(first), list(second)
+    assert len(a_batches) == len(b_batches)
+    for a, b in zip(a_batches, b_batches):
+        np.testing.assert_array_equal(a.records.numeric, b.records.numeric)
+        np.testing.assert_array_equal(a.records.labels, b.records.labels)
+        assert a.phase == b.phase
+        assert a.index == b.index
+        assert a.mix == pytest.approx(b.mix)
+
+
+def label_fraction_by_phase(stream, label):
+    fractions = {}
+    for batch in stream:
+        fractions.setdefault(batch.phase, []).append(
+            float(np.mean(batch.records.labels == label))
+        )
+    return {phase: float(np.mean(values)) for phase, values in fractions.items()}
+
+
+# --------------------------------------------------------------------------- #
+# Wrapper equivalence of the relocated presets
+# --------------------------------------------------------------------------- #
+def golden_flood_phases(attack_fraction=0.7, baseline=6, burst=4, drift=6,
+                        drift_scale=1.5):
+    """The flood phase list exactly as hand-rolled before the refactor."""
+    benign = {"normal": 1.0}
+    flood = {"normal": 1.0 - attack_fraction, "dos": attack_fraction}
+    mixed_flood = {
+        "normal": 1.0 - attack_fraction,
+        "dos": attack_fraction * 0.8,
+        "probe": attack_fraction * 0.2,
+    }
+    return [
+        StreamPhase("benign-baseline", baseline, benign),
+        StreamPhase("syn-flood", burst, flood),
+        StreamPhase("recovery", max(baseline // 2, 1), benign),
+        StreamPhase("udp-flood", burst, mixed_flood),
+        StreamPhase("http-flood", burst, flood),
+        StreamPhase(
+            "gradual-drift", drift, benign,
+            end_mix={"normal": 0.6, "dos": 0.4}, drift_scale=drift_scale,
+        ),
+    ]
+
+
+def golden_probe_sweep_phases(sweep_fraction=0.15, scan_fraction=0.5,
+                              baseline=4, sweep=8, scan=3):
+    """The probe-sweep phase list exactly as hand-rolled before the refactor."""
+    benign = {"normal": 1.0}
+    sweep_mix = {"normal": 1.0 - sweep_fraction, "probe": sweep_fraction}
+    scan_mix = {"normal": 1.0 - scan_fraction, "probe": scan_fraction}
+    family_mix = {"normal": 0.6, "probe": 0.4 * 0.5, "dos": 0.2}
+    return [
+        StreamPhase("benign-baseline", baseline, benign),
+        StreamPhase("horizontal-sweep", sweep, benign, end_mix=sweep_mix),
+        StreamPhase("vertical-scan", scan, scan_mix),
+        StreamPhase("quiet", max(baseline // 2, 1), benign),
+        StreamPhase("family-mix", scan, family_mix),
+    ]
+
+
+class TestWrapperEquivalence:
+    def test_flood_matches_pre_refactor_output(self, generator):
+        golden = TrafficStream(generator, golden_flood_phases(), batch_size=24, seed=7)
+        assert_streams_identical(
+            golden, TrafficStream.flood_scenario(generator, batch_size=24, seed=7)
+        )
+
+    def test_probe_sweep_matches_pre_refactor_output(self, generator):
+        golden = TrafficStream(
+            generator, golden_probe_sweep_phases(), batch_size=24, seed=9
+        )
+        assert_streams_identical(
+            golden,
+            TrafficStream.probe_sweep_scenario(generator, batch_size=24, seed=9),
+        )
+
+    def test_classmethod_and_function_spellings_agree(self, generator):
+        assert_streams_identical(
+            TrafficStream.flood_scenario(generator, batch_size=16, seed=2),
+            flood_scenario(generator, batch_size=16, seed=2),
+        )
+        assert_streams_identical(
+            TrafficStream.probe_sweep_scenario(generator, batch_size=16, seed=2),
+            probe_sweep_scenario(generator, batch_size=16, seed=2),
+        )
+
+    def test_wrappers_still_accept_the_old_keyword_arguments(self, generator):
+        stream = TrafficStream.flood_scenario(
+            generator, batch_size=16, seed=1,
+            attack_class="probe", baseline_batches=2, burst_batches=1,
+            attack_fraction=0.5, drift_batches=2, drift_scale=0.5,
+        )
+        assert stream.phases[1].mix["probe"] == pytest.approx(0.5)
+        with pytest.raises(ValueError, match="unknown attack class"):
+            TrafficStream.flood_scenario(generator, attack_class="slowloris")
+
+
+# --------------------------------------------------------------------------- #
+# imbalance_shift_scenario
+# --------------------------------------------------------------------------- #
+class TestImbalanceShift:
+    def test_prior_flips_mid_stream(self, generator):
+        stream = imbalance_shift_scenario(generator, batch_size=200, seed=3)
+        attack_fraction = label_fraction_by_phase(stream, "dos")
+        assert attack_fraction["benign-majority"] == pytest.approx(0.05, abs=0.03)
+        assert attack_fraction["attack-majority"] == pytest.approx(0.80, abs=0.06)
+        assert attack_fraction["restored"] == pytest.approx(0.05, abs=0.03)
+
+    def test_phase_order_covers_both_transitions(self, generator):
+        stream = imbalance_shift_scenario(generator, batch_size=16, seed=0)
+        assert [phase.name for phase in stream.phases] == [
+            "benign-majority", "prior-flip", "attack-majority",
+            "flip-back", "restored",
+        ]
+
+    def test_deterministic_and_reiterable(self, generator):
+        stream = imbalance_shift_scenario(generator, batch_size=32, seed=4)
+        assert_streams_identical(stream, stream)
+        assert_streams_identical(
+            stream, imbalance_shift_scenario(generator, batch_size=32, seed=4)
+        )
+        other = imbalance_shift_scenario(generator, batch_size=32, seed=5)
+        assert not np.array_equal(
+            next(iter(stream)).records.numeric, next(iter(other)).records.numeric
+        )
+
+    def test_prior_validation(self, generator):
+        with pytest.raises(ValueError, match="benign_prior"):
+            imbalance_shift_scenario(generator, benign_prior=0.4)
+        with pytest.raises(ValueError, match="attack_prior"):
+            imbalance_shift_scenario(generator, attack_prior=1.0)
+
+    def test_respects_the_requested_attack_class(self, generator):
+        stream = imbalance_shift_scenario(generator, attack_class="r2l")
+        assert "r2l" in stream.phases[0].mix
+        with pytest.raises(ValueError, match="unknown attack class"):
+            imbalance_shift_scenario(generator, attack_class="normal")
+
+
+# --------------------------------------------------------------------------- #
+# slow_dos_scenario
+# --------------------------------------------------------------------------- #
+class TestSlowDos:
+    def test_attack_stays_far_below_flood_ratios(self, generator):
+        stream = slow_dos_scenario(generator, batch_size=200, seed=6)
+        dos_fraction = label_fraction_by_phase(stream, "dos")
+        assert dos_fraction["low-and-slow"] == pytest.approx(0.08, abs=0.04)
+        # Even the escalation spike stays below flood intensity (0.7).
+        assert dos_fraction["escalation-spike"] < 0.6
+        labels = np.concatenate([b.records.labels for b in stream])
+        assert float(np.mean(labels == "dos")) < 0.2
+
+    def test_low_and_slow_phase_is_the_longest(self, generator):
+        stream = slow_dos_scenario(generator, batch_size=16, seed=0)
+        batches = {}
+        for phase in stream.phases:
+            batches[phase.name] = batches.get(phase.name, 0) + phase.batches
+        assert max(batches, key=batches.get) == "low-and-slow"
+
+    def test_attack_segments_carry_the_low_rate_hint(self, generator):
+        stream = slow_dos_scenario(generator, batch_size=16, seed=0)
+        hints = {phase.name: phase.rate_hint for phase in stream.phases}
+        assert hints["slow-creep"] == RATE_SLOW
+        assert hints["low-and-slow"] == RATE_SLOW
+        assert hints["benign-baseline"] > RATE_SLOW
+
+    def test_deterministic_and_reiterable(self, generator):
+        stream = slow_dos_scenario(generator, batch_size=32, seed=8)
+        assert_streams_identical(stream, stream)
+        assert_streams_identical(
+            stream, slow_dos_scenario(generator, batch_size=32, seed=8)
+        )
+
+    def test_fraction_validation(self, generator):
+        with pytest.raises(ValueError, match="attack_fraction"):
+            slow_dos_scenario(generator, attack_fraction=0.5)
+        with pytest.raises(ValueError, match="spike_fraction"):
+            slow_dos_scenario(generator, attack_fraction=0.1, spike_fraction=0.05)
+
+
+# --------------------------------------------------------------------------- #
+# fleet_scenario / InterleavedStream
+# --------------------------------------------------------------------------- #
+class TestFleetScenario:
+    def test_interleaves_both_corpora(self):
+        stream = fleet_scenario(batch_size=16, seed=0)
+        schemas = [batch.records.schema.name for batch in stream]
+        assert schemas[:4] == ["nsl-kdd", "unsw-nb15", "nsl-kdd", "unsw-nb15"]
+        assert set(schemas) == {"nsl-kdd", "unsw-nb15"}
+
+    def test_phase_names_are_prefixed_with_the_corpus(self):
+        stream = fleet_scenario(batch_size=16, seed=0)
+        phases = {batch.phase for batch in stream}
+        assert any(phase.startswith("nsl-kdd:") for phase in phases)
+        assert any(phase.startswith("unsw-nb15:") for phase in phases)
+
+    def test_global_index_is_renumbered(self):
+        batches = list(fleet_scenario(batch_size=16, seed=0))
+        assert [batch.index for batch in batches] == list(range(len(batches)))
+
+    def test_totals_sum_over_the_sub_streams(self):
+        stream = fleet_scenario(batch_size=16, seed=0)
+        assert stream.total_batches == sum(s.total_batches for s in stream.streams)
+        assert stream.total_records == stream.total_batches * 16
+
+    def test_deterministic_and_reiterable(self):
+        stream = fleet_scenario(batch_size=16, seed=1)
+        assert_streams_identical(stream, stream)
+        assert_streams_identical(stream, fleet_scenario(batch_size=16, seed=1))
+
+    def test_custom_generators(self, generator):
+        stream = fleet_scenario(
+            generators=(generator, unswnb15_generator(seed=3)), batch_size=8, seed=0
+        )
+        assert [schema.name for schema in stream.schemas] == [
+            "nsl-kdd", "unsw-nb15",
+        ]
+        with pytest.raises(ValueError, match="at least one generator"):
+            fleet_scenario(generators=())
+
+    def test_uneven_stream_lengths_drain_the_longer_tail(self, generator):
+        short = flood_scenario(generator, batch_size=8, seed=0, baseline_batches=1,
+                               burst_batches=1, drift_batches=1)
+        long = flood_scenario(generator, batch_size=8, seed=1)
+        stream = InterleavedStream([short, long], names=["short", "long"])
+        batches = list(stream)
+        assert len(batches) == short.total_batches + long.total_batches
+        tail = [batch.phase for batch in batches[2 * short.total_batches:]]
+        assert all(phase.startswith("long:") for phase in tail)
+
+    def test_duplicate_schema_names_get_suffixed(self, generator):
+        first = flood_scenario(generator, batch_size=8, seed=0)
+        second = flood_scenario(generator, batch_size=8, seed=1)
+        stream = InterleavedStream([first, second])
+        assert stream.names == ["nsl-kdd", "nsl-kdd#1"]
+
+
+def test_registry_lists_every_single_stream_preset():
+    assert set(SINGLE_STREAM_PRESETS) == {
+        "flood", "probe-sweep", "imbalance-shift", "slow-dos",
+    }

@@ -1,14 +1,26 @@
-"""Shared fixtures for the serving suite: one small fitted detector.
+"""Shared fixtures for the serving suite: small fitted detectors.
 
 Fitting even a 1-block detector dominates the suite's runtime, so the
-service, worker-pool and sharding tests all share this package-scoped
-fixture instead of training their own.
+service, worker-pool, sharding, fleet and scenario-suite tests all share
+these package-scoped fixtures (built once per test session) instead of
+training their own:
+
+* ``detector`` — the NSL-KDD detector used by most of the suite;
+* ``unsw_detector`` — its UNSW-NB15 counterpart;
+* ``fleet_detectors`` — both, keyed by schema name, the cheap two-corpus
+  fixture behind the cross-dataset fleet tests (ROADMAP: "cross-dataset
+  fleet example").
 """
 
 import pytest
 
 from repro.core import PelicanDetector
-from repro.data import NSLKDD_SCHEMA, load_nslkdd
+from repro.data import (
+    NSLKDD_SCHEMA,
+    UNSWNB15_SCHEMA,
+    load_nslkdd,
+    load_unswnb15,
+)
 
 
 @pytest.fixture(scope="package")
@@ -20,6 +32,23 @@ def detector():
     )
     detector.fit(records)
     return detector
+
+
+@pytest.fixture(scope="package")
+def unsw_detector():
+    records = load_unswnb15(n_records=400, seed=11)
+    detector = PelicanDetector(
+        UNSWNB15_SCHEMA, num_blocks=1, epochs=2, batch_size=64,
+        dropout_rate=0.3, seed=0,
+    )
+    detector.fit(records)
+    return detector
+
+
+@pytest.fixture(scope="package")
+def fleet_detectors(detector, unsw_detector):
+    """Two-corpus detector fleet keyed by schema name."""
+    return {"nsl-kdd": detector, "unsw-nb15": unsw_detector}
 
 
 @pytest.fixture()

@@ -1,0 +1,98 @@
+"""Tests for the ScenarioSuite cross-model sweep."""
+
+import pytest
+
+from repro.scenarios import ScenarioSuite, flood_scenario, slow_dos_scenario
+from repro.scenarios.suite import FLEET_MODELS, SINGLE_STREAM_MODELS
+
+
+def trimmed_flood(generator, batch_size=64, seed=0):
+    return flood_scenario(
+        generator, batch_size=batch_size, seed=seed,
+        baseline_batches=2, burst_batches=1, drift_batches=2,
+    )
+
+
+def trimmed_slow_dos(generator, batch_size=64, seed=0):
+    return slow_dos_scenario(
+        generator, batch_size=batch_size, seed=seed,
+        baseline_batches=1, creep_batches=2, hold_batches=3, spike_batches=2,
+    )
+
+
+TRIMMED = {"flood": trimmed_flood, "slow-dos": trimmed_slow_dos}
+
+
+def overall_counts(row):
+    overall = row["overall"]
+    return (overall["tp"], overall["tn"], overall["fp"], overall["fn"])
+
+
+@pytest.fixture(scope="module")
+def results(fleet_detectors):
+    suite = ScenarioSuite(
+        fleet_detectors, batch_size=32, seed=0, scenarios=TRIMMED,
+    )
+    return suite.run()
+
+
+class TestScenarioSuite:
+    def test_every_scenario_and_model_is_swept(self, results):
+        assert set(results["scenarios"]) == {"flood", "slow-dos", "fleet"}
+        for name in TRIMMED:
+            models = results["scenarios"][name]["models"]
+            assert set(models) == set(SINGLE_STREAM_MODELS)
+        assert set(results["scenarios"]["fleet"]["models"]) == set(FLEET_MODELS)
+
+    def test_rows_carry_quality_and_throughput(self, results):
+        for entry in results["scenarios"].values():
+            for row in entry["models"].values():
+                assert row["records"] == entry["total_records"]
+                assert row["throughput_rps"] > 0
+                assert 0.0 <= row["overall"]["dr"] <= 1.0
+                assert 0.0 <= row["overall"]["far"] <= 1.0
+                assert row["phases"], "per-phase breakdown missing"
+                phase_total = sum(q["records"] for q in row["phases"].values())
+                assert phase_total == entry["total_records"]
+
+    def test_execution_models_agree_on_the_confusion_counts(self, results):
+        for name, entry in results["scenarios"].items():
+            counts = {overall_counts(row) for row in entry["models"].values()}
+            assert len(counts) == 1, f"{name}: models disagree on counts"
+
+    def test_rate_hints_are_recorded(self, results):
+        hints = results["scenarios"]["slow-dos"]["rate_hints"]
+        assert hints["low-and-slow"] < hints["benign-baseline"]
+
+    def test_fleet_covers_both_corpora(self, results):
+        entry = results["scenarios"]["fleet"]
+        assert entry["dataset"] == "nsl-kdd+unsw-nb15"
+        row = entry["models"]["sharded"]
+        assert any(phase.startswith("nsl-kdd:") for phase in row["phases"])
+        assert any(phase.startswith("unsw-nb15:") for phase in row["phases"])
+
+    def test_fleet_is_skipped_without_the_second_detector(self, detector):
+        suite = ScenarioSuite(
+            {"nsl-kdd": detector}, batch_size=32, seed=0, scenarios=TRIMMED,
+        )
+        results = suite.run()
+        assert "fleet" not in results["scenarios"]
+
+    def test_include_fleet_false_skips_it(self, fleet_detectors):
+        suite = ScenarioSuite(
+            fleet_detectors, batch_size=32, seed=0,
+            scenarios={"flood": trimmed_flood}, include_fleet=False,
+        )
+        assert "fleet" not in suite.run()["scenarios"]
+
+    def test_mis_keyed_detectors_are_rejected(self, detector):
+        with pytest.raises(ValueError, match="fitted on schema"):
+            ScenarioSuite({"unsw-nb15": detector})
+        with pytest.raises(ValueError, match="at least one"):
+            ScenarioSuite({})
+
+    def test_default_registry_covers_the_whole_library(self, detector):
+        suite = ScenarioSuite({"nsl-kdd": detector})
+        assert set(suite.scenarios) == {
+            "flood", "probe-sweep", "imbalance-shift", "slow-dos",
+        }

@@ -1,0 +1,52 @@
+"""Smoke-run every script in ``examples/`` end to end.
+
+The examples are living documentation; nothing else executes them in CI, so
+they rot silently when an API they use moves.  This module runs each one in
+a subprocess (fresh interpreter, ``src/`` on ``PYTHONPATH``, repository
+root as the working directory) and fails with the script's tail output if
+it exits non-zero.
+
+The scripts train real detectors for minutes, so the whole module sits
+behind the ``slow`` marker::
+
+    pytest --runslow tests/test_examples_smoke.py
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+PER_SCRIPT_TIMEOUT_S = 1800
+
+
+def test_the_examples_directory_is_not_empty():
+    assert SCRIPTS, f"no example scripts found under {EXAMPLES_DIR}"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda path: path.name)
+def test_example_runs_end_to_end(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=str(REPO_ROOT),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=PER_SCRIPT_TIMEOUT_S,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} exited with {completed.returncode}\n"
+        f"--- stdout tail ---\n{completed.stdout[-2000:]}\n"
+        f"--- stderr tail ---\n{completed.stderr[-2000:]}"
+    )
