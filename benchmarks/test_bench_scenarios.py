@@ -3,21 +3,30 @@
 Trains one small detector per corpus (the same service scale as the
 serving-throughput bench), sweeps the full scenario library with
 :class:`repro.scenarios.ScenarioSuite` — flood, probe-sweep,
-imbalance-shift and slow-dos under the synchronous, worker-pool and
-replica-sharded execution models, plus the cross-dataset fleet preset on a
-dataset-routed two-shard service (inline and with per-shard worker pools)
-— and writes the per-scenario, per-phase DR/FAR/throughput rows to
-``BENCH_scenarios.json`` at the repository root.  That file is the
-scenario-regression baseline future PRs diff against, alongside
-``BENCH_serving.json``.
+imbalance-shift, slow-dos and retrain-recovery under the synchronous,
+worker-pool and replica-sharded execution models, plus the cross-dataset
+fleet preset on a dataset-routed two-shard service (inline and with
+per-shard worker pools) — and writes the per-scenario, per-phase
+DR/FAR/throughput rows to ``BENCH_scenarios.json`` at the repository
+root.  That file is the scenario-regression baseline future PRs diff
+against, alongside ``BENCH_serving.json``.
+
+The suite additionally runs the ``retrain-recovery`` preset under a
+:class:`repro.serving.lifecycle.DriftSupervisor` (rolling window 512,
+inline retrain on the replay buffer) and the baseline records the
+lifecycle row: the event timeline (drift detected → retrain → promoted),
+the per-batch rolling DR/FAR curves and the recovery time in batches and
+seconds.
 
 Hard assertions: for every scenario the execution models must agree on the
 confusion counts bit for bit (the serving tier's ordering guarantee), and
 every phase of every preset must be attributed.  Quality claims
 (``check_claims`` scales only): the flood preset's flood phases keep
-DR ≥ 90 % while the benign baseline's FAR stays under 15 %, and the
-slow-dos low-and-slow phase — 8 % attack mix, far below volumetric
-thresholds — is still detected at DR ≥ 80 %.
+DR ≥ 90 % while the benign baseline's FAR stays under 15 %; the slow-dos
+low-and-slow phase — 8 % attack mix, far below volumetric thresholds — is
+still detected at DR ≥ 80 %; and the supervised retrain-recovery run must
+actually recover — promotion happens and the post-swap recovery-window DR
+beats the unsupervised (no lifecycle) run's by ≥ 20 points.
 """
 
 import json
@@ -55,6 +64,7 @@ def _run_suite(seed):
         seed=seed,
         num_workers=NUM_WORKERS,
         replica_shards=REPLICA_SHARDS,
+        include_lifecycle=True,
     )
     return suite.run()
 
@@ -86,6 +96,32 @@ def _render(results) -> str:
                 f"{quality['dr']:>7.2%} {quality['far']:>7.2%} "
                 f"{quality['acc']:>7.2%}"
             )
+    lifecycle = results.get("lifecycle")
+    if lifecycle:
+        lines.append(
+            "lifecycle (retrain-recovery under DriftSupervisor, "
+            f"window {lifecycle['window']})"
+        )
+        for event in lifecycle["events"]:
+            detail = ", ".join(
+                f"{k}={v}" for k, v in event["detail"].items()
+            )
+            lines.append(
+                f"    batch {event['batch_index']:>3d} "
+                f"({event['records_seen']:>6d} rec) {event['kind']}"
+                + (f"  [{detail}]" if detail else "")
+            )
+        if lifecycle["promoted"]:
+            lines.append(
+                f"    recovery: {lifecycle['recovery_batches']} batches, "
+                f"{lifecycle['recovery_seconds']:.2f}s"
+            )
+        for phase, quality in lifecycle["report"]["phases"].items():
+            lines.append(
+                f"    {phase:<29s} {quality['records']:>8d} {'':>10s} "
+                f"{quality['dr']:>7.2%} {quality['far']:>7.2%} "
+                f"{quality['acc']:>7.2%}"
+            )
     return "\n".join(lines)
 
 
@@ -96,7 +132,8 @@ def test_scenario_suite(run_once, seed, check_claims):
 
     scenarios = results["scenarios"]
     assert set(scenarios) == {
-        "flood", "probe-sweep", "imbalance-shift", "slow-dos", "fleet",
+        "flood", "probe-sweep", "imbalance-shift", "slow-dos",
+        "retrain-recovery", "fleet",
     }
     for name, entry in scenarios.items():
         rows = entry["models"]
@@ -114,7 +151,25 @@ def test_scenario_suite(run_once, seed, check_claims):
                 f"{name}/{model}: phase attribution lost records"
             )
 
+    lifecycle = results["lifecycle"]
+    assert lifecycle["report"]["records"] == lifecycle["total_records"], (
+        "lifecycle run dropped records across the hot-swap"
+    )
+    assert len(lifecycle["dr_curve"]) == lifecycle["total_batches"]
+
     if check_claims:
+        assert lifecycle["triggered"] and lifecycle["promoted"], (
+            f"drift supervisor never recovered: {lifecycle['events']}"
+        )
+        unsupervised_dr = scenarios["retrain-recovery"]["models"][
+            "synchronous"
+        ]["phases"]["recovery-window"]["dr"]
+        supervised_dr = lifecycle["report"]["phases"]["recovery-window"]["dr"]
+        assert supervised_dr >= unsupervised_dr + 0.20, (
+            f"supervised recovery-window DR {supervised_dr:.2%} does not "
+            f"beat the unsupervised {unsupervised_dr:.2%} by 20 points"
+        )
+
         flood = scenarios["flood"]["models"]["synchronous"]["phases"]
         for phase in ("syn-flood", "udp-flood", "http-flood"):
             assert flood[phase]["dr"] >= 0.90, (

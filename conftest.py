@@ -2,13 +2,24 @@
 
 Ensures ``src/`` is importable even when the package has not been installed
 (the offline environment lacks the ``wheel`` package needed by modern
-``pip install -e .``), registers the shared random seed fixture and the
-``slow`` marker.  Tests marked ``@pytest.mark.slow`` (the minutes-long
-end-to-end trainings) are deselected by default so the tier-1 command stays
-fast; run them with ``pytest --runslow``.
+``pip install -e .``), registers the shared random seed fixture and two
+markers:
+
+* ``slow`` — tests marked ``@pytest.mark.slow`` (the minutes-long
+  end-to-end trainings) are deselected by default so the tier-1 command
+  stays fast; run them with ``pytest --runslow``.
+* ``timeout(seconds)`` — a thread-watchdog deadline for the thread-based
+  serving/lifecycle tests.  The environment has no ``pytest-timeout``
+  plugin, so the marker is implemented here: the test body runs on a
+  daemon thread and, if it has not finished within the deadline, the test
+  *fails* with a dump of every thread's stack instead of hanging the
+  suite — a deadlocked reorder buffer or hot-swap surfaces in seconds.
 """
 
+import faulthandler
+import functools
 import sys
+import threading
 from pathlib import Path
 
 import pytest
@@ -32,9 +43,61 @@ def pytest_configure(config):
         "markers",
         "slow: minutes-long end-to-end training runs, skipped unless --runslow is given",
     )
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): fail the test if it runs longer than the deadline "
+        "(thread watchdog; used on thread-based serving/lifecycle tests so a "
+        "deadlock fails fast instead of hanging the suite)",
+    )
+
+
+def _watchdogged(function, seconds):
+    """Run ``function`` on a daemon thread; fail loudly past the deadline.
+
+    A genuinely deadlocked test thread cannot be killed from Python — it is
+    left behind as a daemon (it cannot block interpreter exit) and the test
+    is failed with a full stack dump of every live thread, which is the
+    diagnostic a deadlock investigation needs.
+    """
+
+    @functools.wraps(function)
+    def wrapper(*args, **kwargs):
+        outcome = {}
+
+        def target():
+            try:
+                function(*args, **kwargs)
+            except BaseException as exc:  # re-raised on the pytest thread
+                outcome["error"] = exc
+
+        thread = threading.Thread(
+            target=target, name=f"watchdog:{function.__name__}", daemon=True
+        )
+        thread.start()
+        thread.join(seconds)
+        if thread.is_alive():
+            sys.stderr.write(
+                f"\n=== watchdog: {function.__name__} exceeded {seconds}s; "
+                "dumping all thread stacks ===\n"
+            )
+            faulthandler.dump_traceback(file=sys.stderr)
+            pytest.fail(
+                f"{function.__name__} did not finish within {seconds}s "
+                "(likely deadlock; thread stacks dumped to stderr)",
+                pytrace=False,
+            )
+        if "error" in outcome:
+            raise outcome["error"]
+
+    return wrapper
 
 
 def pytest_collection_modifyitems(config, items):
+    for item in items:
+        marker = item.get_closest_marker("timeout")
+        if marker is not None:
+            seconds = float(marker.args[0]) if marker.args else 60.0
+            item.obj = _watchdogged(item.obj, seconds)
     if config.getoption("--runslow"):
         return
     skip_slow = pytest.mark.skip(reason="slow test: pass --runslow to run it")

@@ -102,6 +102,33 @@ class PelicanDetector:
         )
         return compile_for_paper(network, self.config)
 
+    def clone_architecture(self, seed: Optional[int] = None) -> "PelicanDetector":
+        """A fresh, unfitted detector with the same architecture and config.
+
+        The drift supervisor retrains challengers through this: same schema,
+        depth, residual family and Table I-style hyper-parameters, new
+        (optionally re-seeded) weights, empty preprocessing statistics.
+        """
+        return PelicanDetector(
+            self.schema,
+            num_blocks=self.num_blocks,
+            residual=self.residual,
+            config=self.config,
+            seed=self.seed if seed is None else seed,
+        )
+
+    def build_untrained(self, num_classes: int, num_features: int) -> Sequential:
+        """Construct and shape-build the network without training it.
+
+        Used by checkpoint restore: the returned network has freshly
+        initialised parameters of the right shapes, ready for
+        ``set_weights`` / ``set_buffers``.  Does not attach the network to
+        this detector — assign it explicitly once its state is loaded.
+        """
+        network = self._build_network(num_classes)
+        network(np.zeros((1, 1, num_features)))
+        return network
+
     def fit(
         self,
         records: TrafficRecords,

@@ -258,6 +258,43 @@ class TrafficGenerator:
             labels=np.array([class_name] * count, dtype=object),
         )
 
+    def evasion_direction(self, attack_class: Optional[str] = None) -> np.ndarray:
+        """Unit drift direction pointing from the attack cluster towards normal.
+
+        Shifting traffic along this direction is the *evasion* covariate
+        drift: attack records migrate into the feature region the detector
+        learned as benign, so DR degrades while FAR stays put — unlike a
+        random drift direction, whose effect depends on which side of the
+        decision boundary it happens to point at.  ``attack_class`` narrows
+        the origin to one family; by default the attack-cluster centre
+        (mean of all attack prototypes) is used.
+
+        Heavy-tailed (lognormal) feature components are zeroed: those
+        columns live on an exponentiated scale where a prototype-space
+        offset does not translate, so the direction stays meaningful in
+        record space.  Normalised like the stream's internal drift
+        direction (norm ``sqrt(n_numeric)``), so ``drift_scale`` values are
+        comparable between the two.
+        """
+        if attack_class is not None:
+            if attack_class not in self.schema.attack_classes:
+                raise ValueError(
+                    f"unknown attack class {attack_class!r}; choices: "
+                    f"{self.schema.attack_classes}"
+                )
+            origin = self._class_means[attack_class]
+        else:
+            origin = np.mean(
+                [self._class_means[c] for c in self.schema.attack_classes],
+                axis=0,
+            )
+        direction = self._class_means[self.schema.normal_class] - origin
+        direction = np.where(self._lognormal_mask, 0.0, direction)
+        n_numeric = len(direction)
+        return direction / max(
+            np.linalg.norm(direction) / np.sqrt(n_numeric), 1e-12
+        )
+
     def sample(
         self,
         n_records: int,
@@ -403,6 +440,7 @@ class TrafficStream:
         phases: Sequence[StreamPhase],
         batch_size: int = 64,
         seed: int = 0,
+        drift_direction: Optional[np.ndarray] = None,
     ) -> None:
         if not phases:
             raise ValueError("a TrafficStream needs at least one phase")
@@ -421,6 +459,18 @@ class TrafficStream:
         self.phases = list(phases)
         self.batch_size = int(batch_size)
         self.seed = int(seed)
+        if drift_direction is not None:
+            drift_direction = np.asarray(drift_direction, dtype=np.float64)
+            n_numeric = len(generator.schema.numeric_features)
+            if drift_direction.shape != (n_numeric,):
+                raise ValueError(
+                    f"drift_direction must have shape ({n_numeric},), got "
+                    f"{drift_direction.shape}"
+                )
+        # None keeps the classic behaviour: a random unit direction drawn
+        # from the stream seed.  An explicit direction (e.g.
+        # TrafficGenerator.evasion_direction) aims the covariate shift.
+        self.drift_direction = drift_direction
 
     # ------------------------------------------------------------------ #
     @property
@@ -456,8 +506,13 @@ class TrafficStream:
         """Yield the scenario's batches (deterministic for a given seed)."""
         rng = np.random.default_rng(self.seed)
         n_numeric = len(self.schema.numeric_features)
+        # The random direction is always drawn so the generator state (and
+        # therefore every sampled record) is identical whether or not an
+        # explicit direction overrides it.
         drift_direction = rng.normal(0.0, 1.0, size=n_numeric)
         drift_direction /= max(np.linalg.norm(drift_direction) / np.sqrt(n_numeric), 1e-12)
+        if self.drift_direction is not None:
+            drift_direction = self.drift_direction
 
         class_names = list(self.schema.classes)
         index = 0
@@ -576,4 +631,5 @@ class TrafficStream:
             stream.phases,
             batch_size=stream.batch_size,
             seed=stream.seed,
+            drift_direction=stream.drift_direction,
         )

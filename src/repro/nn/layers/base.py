@@ -161,6 +161,64 @@ class Layer:
             weights.extend(sublayer.get_weights())
         return weights
 
+    def weight_specs(self) -> List[Tuple[str, Tuple[int, ...]]]:
+        """``(qualified name, shape)`` pairs in :meth:`get_weights` order.
+
+        Lets serialization code name the offending array when a load fails
+        instead of surfacing a bare positional mismatch.
+        """
+        specs = [
+            (p.name, tuple(p.data.shape)) for p in self._parameters.values()
+        ]
+        for sublayer in self._sublayers:
+            specs.extend(sublayer.weight_specs())
+        return specs
+
+    def get_buffers(self) -> List[np.ndarray]:
+        """Copies of the non-trainable state arrays (e.g. BN moving stats).
+
+        Ordered like :meth:`get_weights`: this layer's buffers first, then
+        each sub-layer's, so ``(get_weights(), get_buffers())`` is the full
+        inference state of the layer tree.
+        """
+        buffers = [buffer.copy() for buffer in self._buffers.values()]
+        for sublayer in self._sublayers:
+            buffers.extend(sublayer.get_buffers())
+        return buffers
+
+    def buffer_specs(self) -> List[Tuple[str, Tuple[int, ...]]]:
+        """``(qualified name, shape)`` pairs in :meth:`get_buffers` order."""
+        specs = [
+            (f"{self.name}/{name}", tuple(buffer.shape))
+            for name, buffer in self._buffers.items()
+        ]
+        for sublayer in self._sublayers:
+            specs.extend(sublayer.buffer_specs())
+        return specs
+
+    def set_buffers(self, buffers: Sequence[np.ndarray]) -> int:
+        """Load buffer arrays in the order produced by :meth:`get_buffers`.
+
+        Returns the number of arrays consumed so nested layers can continue
+        from the right offset.  Bumps the weights epoch: derived constants
+        such as the folded batch-norm scale/shift depend on buffer state.
+        """
+        consumed = 0
+        for name, current in self._buffers.items():
+            value = np.asarray(buffers[consumed], dtype=np.float64)
+            if value.shape != current.shape:
+                raise ValueError(
+                    f"buffer shape mismatch for {self.name}/{name}: "
+                    f"expected {current.shape}, got {value.shape}"
+                )
+            self._buffers[name] = value.copy()
+            consumed += 1
+        if consumed:
+            invalidate_weight_caches()
+        for sublayer in self._sublayers:
+            consumed += sublayer.set_buffers(buffers[consumed:])
+        return consumed
+
     def set_weights(self, weights: Sequence[np.ndarray]) -> int:
         """Load parameter arrays in the order produced by :meth:`get_weights`.
 

@@ -94,6 +94,18 @@ class BatchNormalization(Layer):
             normalized = (inputs - mean) * ((variance + self.epsilon) ** -0.5)
         return normalized * self.gamma + self.beta
 
+    def set_buffers(self, buffers) -> int:
+        """Load moving statistics and mark them as seeded.
+
+        Restored statistics come from a trained model, so the next training
+        batch must blend into them with the usual momentum instead of
+        overwriting them the way the first-ever batch does.
+        """
+        consumed = super().set_buffers(buffers)
+        if consumed:
+            self._moving_stats_initialized = True
+        return consumed
+
     def folded_constants(self) -> Tuple[np.ndarray, np.ndarray]:
         """Cached ``(scale, shift)`` of the inference-mode normalization.
 

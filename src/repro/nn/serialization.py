@@ -1,22 +1,96 @@
 """Model weight serialization.
 
 The paper's workflow trains a detector once and then deploys it inside the
-NIDS (Fig. 1); this module provides the minimal persistence layer that makes
-that workflow possible here: model weights are saved to a single ``.npz``
-archive and can be loaded back into a freshly constructed model of the same
-architecture.
+NIDS (Fig. 1); this module provides the persistence layer that makes that
+workflow possible here:
+
+* :func:`save_weights` / :func:`load_weights` — the trainable parameter
+  arrays alone, in :meth:`~repro.nn.layers.base.Layer.get_weights` order;
+* :func:`save_state` / :func:`load_state` — parameters **plus** the
+  non-trainable buffers (batch-norm moving statistics), i.e. the complete
+  inference state.  A model restored with :func:`load_state` scores
+  identically to the one that was saved; a model restored from weights
+  alone would fall back to freshly initialised moving statistics.
+
+Both pairs store a single ``.npz`` archive and load back into a freshly
+constructed (already built) model of the same architecture.  Loading bumps
+the global weights epoch (via ``set_weights`` / ``set_buffers``), so cached
+derived constants such as the folded batch-norm scale/shift are re-derived
+on the next fast-path batch instead of serving stale values.
+
+Shape mismatches are reported by array index *and* qualified parameter
+name (``weight 3 ('dense/kernel'): ...``), so a wrong-architecture load
+points at the offending layer instead of surfacing a bare positional
+error.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, Union
+from typing import List, Sequence, Tuple, Union
 
 import numpy as np
 
 from .layers.base import Layer
 
-__all__ = ["save_weights", "load_weights"]
+__all__ = [
+    "save_weights",
+    "load_weights",
+    "save_state",
+    "load_state",
+    "WEIGHT_KEY",
+    "BUFFER_KEY",
+    "check_array_specs",
+    "load_prefixed_arrays",
+]
+
+#: Archive key templates shared by every weight container in the repo
+#: (these files and the serving tier's ``DetectorCheckpoint`` bundle).
+WEIGHT_KEY = "weight_{index:04d}"
+BUFFER_KEY = "buffer_{index:04d}"
+
+
+def _normalise_path(path: Union[str, Path], must_exist: bool) -> Path:
+    path = Path(path)
+    if must_exist:
+        if not path.exists() and path.suffix != ".npz":
+            path = path.with_suffix(".npz")
+    elif path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    return path
+
+
+def check_array_specs(
+    kind: str,
+    specs: Sequence[Tuple[str, Tuple[int, ...]]],
+    arrays: Sequence[np.ndarray],
+    source: str,
+) -> None:
+    """Validate loaded arrays against ``(name, shape)`` specs.
+
+    Names the offending array index and qualified parameter/buffer name —
+    and runs *before* the model is touched, so a failed load mutates
+    nothing.  ``source`` labels where the arrays came from (a file name,
+    a checkpoint bundle) in the error message.
+    """
+    if len(specs) != len(arrays):
+        raise ValueError(
+            f"{kind} count mismatch loading {source}: model has "
+            f"{len(specs)} arrays, source has {len(arrays)}"
+        )
+    for index, ((name, shape), array) in enumerate(zip(specs, arrays)):
+        if tuple(array.shape) != shape:
+            raise ValueError(
+                f"{kind} {index} ({name!r}) in {source}: model expects "
+                f"shape {shape}, source has {tuple(array.shape)}"
+            )
+
+
+def load_prefixed_arrays(path: Union[str, Path], prefix: str) -> List[np.ndarray]:
+    """All arrays whose key starts with ``prefix``, in sorted-key order."""
+    with np.load(path) as archive:
+        keys = sorted(key for key in archive.files if key.startswith(prefix))
+        return [archive[key] for key in keys]
 
 
 def save_weights(model: Layer, path: Union[str, Path]) -> Path:
@@ -26,15 +100,16 @@ def save_weights(model: Layer, path: Union[str, Path]) -> Path:
     :meth:`Layer.get_weights`, so loading requires an identically structured
     (already built) model.
     """
-    path = Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(".npz")
+    path = _normalise_path(path, must_exist=False)
     weights = model.get_weights()
     if not weights:
         raise ValueError(
             "the model has no weights to save; build it by calling it on data first"
         )
-    arrays = {f"weight_{index:04d}": array for index, array in enumerate(weights)}
+    arrays = {
+        WEIGHT_KEY.format(index=index): array
+        for index, array in enumerate(weights)
+    }
     path.parent.mkdir(parents=True, exist_ok=True)
     np.savez(path, **arrays)
     return path
@@ -45,18 +120,54 @@ def load_weights(model: Layer, path: Union[str, Path]) -> Layer:
 
     The model must already be built (its parameters created) and have the same
     architecture as the model the weights came from; shape mismatches raise
-    ``ValueError``.
+    ``ValueError`` naming the offending array index and parameter.
     """
-    path = Path(path)
-    if not path.exists() and path.suffix != ".npz":
-        path = path.with_suffix(".npz")
-    with np.load(path) as archive:
-        keys = sorted(archive.files)
-        weights: List[np.ndarray] = [archive[key] for key in keys]
-    expected = len(model.get_weights())
-    if expected != len(weights):
-        raise ValueError(
-            f"weight count mismatch: model has {expected} arrays, file has {len(weights)}"
-        )
+    path = _normalise_path(path, must_exist=True)
+    weights = load_prefixed_arrays(path, "weight_")
+    check_array_specs("weight", model.weight_specs(), weights, path.name)
     model.set_weights(weights)
+    return model
+
+
+def save_state(model: Layer, path: Union[str, Path]) -> Path:
+    """Save weights *and* buffers — the model's complete inference state.
+
+    Unlike :func:`save_weights`, the archive also carries the non-trainable
+    state arrays (batch-norm moving mean/variance), so a model restored with
+    :func:`load_state` produces bitwise-identical inference outputs.
+    """
+    path = _normalise_path(path, must_exist=False)
+    weights = model.get_weights()
+    if not weights:
+        raise ValueError(
+            "the model has no weights to save; build it by calling it on data first"
+        )
+    arrays = {
+        WEIGHT_KEY.format(index=index): array
+        for index, array in enumerate(weights)
+    }
+    for index, buffer in enumerate(model.get_buffers()):
+        arrays[BUFFER_KEY.format(index=index)] = buffer
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **arrays)
+    return path
+
+
+def load_state(model: Layer, path: Union[str, Path]) -> Layer:
+    """Load an archive saved by :func:`save_state` into ``model`` (in place).
+
+    Validates every array's shape (weights and buffers) against the model
+    before mutating anything, so a failed load leaves the model untouched.
+    Accepts plain :func:`save_weights` archives too, in which case the
+    buffers keep their current values.
+    """
+    path = _normalise_path(path, must_exist=True)
+    weights = load_prefixed_arrays(path, "weight_")
+    buffers = load_prefixed_arrays(path, "buffer_")
+    check_array_specs("weight", model.weight_specs(), weights, path.name)
+    if buffers:
+        check_array_specs("buffer", model.buffer_specs(), buffers, path.name)
+    model.set_weights(weights)
+    if buffers:
+        model.set_buffers(buffers)
     return model

@@ -148,6 +148,78 @@ class IDSPreprocessor:
     def fit_transform(self, records: TrafficRecords) -> PreparedData:
         return self.fit(records).transform(records)
 
+    # ------------------------------------------------------------------ #
+    # Fitted-state persistence (used by the serving checkpoint bundle)
+    # ------------------------------------------------------------------ #
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def export_state(self) -> Dict[str, object]:
+        """The fitted statistics as plain data (vocabularies, scaler, classes).
+
+        The scaler arrays come back as ``float64`` numpy arrays so a
+        checkpoint can store them losslessly; everything else is JSON-able.
+        Restoring with :meth:`restore_state` reproduces transforms bitwise.
+        """
+        if not self._fitted:
+            raise RuntimeError("IDSPreprocessor must be fitted before export_state")
+        return {
+            "schema": self.schema.name,
+            "categories": {
+                name: list(values)
+                for name, values in self.encoder.categories_.items()
+            },
+            "classes": list(self.label_encoder.classes_),
+            "scaler_mean": np.asarray(self.scaler.mean_, dtype=np.float64),
+            "scaler_scale": np.asarray(self.scaler.scale_, dtype=np.float64),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> "IDSPreprocessor":
+        """Restore the fitted statistics exported by :meth:`export_state`.
+
+        Validates the state against this preprocessor's schema (name, class
+        order, encoded width) before mutating anything, so a failed restore
+        leaves the pipeline untouched.
+        """
+        if state.get("schema") != self.schema.name:
+            raise ValueError(
+                f"preprocessor state is for schema {state.get('schema')!r}, "
+                f"this pipeline uses {self.schema.name!r}"
+            )
+        classes = [str(name) for name in state["classes"]]
+        if classes != list(self.label_encoder.classes_):
+            raise ValueError(
+                f"class order mismatch: state has {classes}, schema declares "
+                f"{list(self.label_encoder.classes_)}"
+            )
+        categories = {
+            str(name): [str(value) for value in values]
+            for name, values in state["categories"].items()
+        }
+        expected_columns = [f.name for f in self.schema.categorical_features]
+        if list(categories) != expected_columns:
+            raise ValueError(
+                f"categorical columns mismatch: state has {list(categories)}, "
+                f"schema declares {expected_columns}"
+            )
+        mean = np.asarray(state["scaler_mean"], dtype=np.float64)
+        scale = np.asarray(state["scaler_scale"], dtype=np.float64)
+        width = len(self.schema.numeric_features) + sum(
+            len(values) for values in categories.values()
+        )
+        if mean.shape != (width,) or scale.shape != (width,):
+            raise ValueError(
+                f"scaler statistics shaped {mean.shape}/{scale.shape} do not "
+                f"match the encoded width {width}"
+            )
+        self.encoder.categories_ = categories
+        self.encoder._fitted = True
+        self.scaler.mean_ = mean.copy()
+        self.scaler.scale_ = scale.copy()
+        self._fitted = True
+        return self
+
     @property
     def num_features(self) -> int:
         """Width of the encoded feature vector (121 / 196 for the paper's datasets)."""

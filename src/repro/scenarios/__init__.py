@@ -15,7 +15,9 @@ benign/attack mixing ratios).  The package splits into four pieces:
   :class:`~repro.data.generator.TrafficStream` executes.
 * :mod:`repro.scenarios.presets` — the library: :func:`flood_scenario`,
   :func:`probe_sweep_scenario`, :func:`imbalance_shift_scenario`,
-  :func:`slow_dos_scenario` and the cross-dataset :func:`fleet_scenario`.
+  :func:`slow_dos_scenario`, the lifecycle-tier
+  :func:`retrain_recovery_scenario` (pure covariate drift that degrades a
+  deployed detector) and the cross-dataset :func:`fleet_scenario`.
 * :mod:`repro.scenarios.fleet` — :class:`InterleavedStream` (round-robin
   multi-corpus feeds) and :func:`build_fleet_service` (one dataset-routed
   detector shard per corpus).
@@ -48,6 +50,7 @@ from .presets import (
     flood_scenario,
     imbalance_shift_scenario,
     probe_sweep_scenario,
+    retrain_recovery_scenario,
     slow_dos_scenario,
 )
 from .suite import ScenarioSuite, report_row
@@ -68,6 +71,7 @@ __all__ = [
     "probe_sweep_scenario",
     "imbalance_shift_scenario",
     "slow_dos_scenario",
+    "retrain_recovery_scenario",
     "fleet_scenario",
     "SINGLE_STREAM_PRESETS",
     "RATE_BASELINE",

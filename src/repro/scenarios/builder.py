@@ -299,10 +299,21 @@ class Scenario:
         generator: TrafficGenerator,
         batch_size: int = 64,
         seed: int = 0,
+        drift_direction=None,
     ) -> TrafficStream:
-        """Compile and wrap into a deterministic :class:`TrafficStream`."""
+        """Compile and wrap into a deterministic :class:`TrafficStream`.
+
+        ``drift_direction`` aims the covariate shift along an explicit
+        feature-space vector (e.g.
+        :meth:`TrafficGenerator.evasion_direction`); omitted, the stream
+        draws its classic random direction from ``seed``.
+        """
         return TrafficStream(
-            generator, self.compile(), batch_size=batch_size, seed=seed
+            generator,
+            self.compile(),
+            batch_size=batch_size,
+            seed=seed,
+            drift_direction=drift_direction,
         )
 
 
@@ -345,5 +356,11 @@ class ScenarioBuilder:
         generator: TrafficGenerator,
         batch_size: int = 64,
         seed: int = 0,
+        drift_direction=None,
     ) -> TrafficStream:
-        return self.scenario().build(generator, batch_size=batch_size, seed=seed)
+        return self.scenario().build(
+            generator,
+            batch_size=batch_size,
+            seed=seed,
+            drift_direction=drift_direction,
+        )

@@ -37,6 +37,7 @@ __all__ = [
     "probe_sweep_scenario",
     "imbalance_shift_scenario",
     "slow_dos_scenario",
+    "retrain_recovery_scenario",
     "fleet_scenario",
     "SINGLE_STREAM_PRESETS",
 ]
@@ -278,6 +279,70 @@ def slow_dos_scenario(
     return scenario.build(generator, batch_size=batch_size, seed=seed)
 
 
+def retrain_recovery_scenario(
+    generator: TrafficGenerator,
+    batch_size: int = 64,
+    seed: int = 0,
+    attack_class: Optional[str] = None,
+    baseline_batches: int = 6,
+    onset_batches: int = 6,
+    degraded_batches: int = 10,
+    recovery_batches: int = 8,
+    attack_fraction: float = 0.3,
+    drift_to: float = 3.5,
+) -> TrafficStream:
+    """Evasion drift degrades DR; the lifecycle tier retrains and recovers.
+
+    The workload behind the :class:`~repro.serving.lifecycle.DriftSupervisor`
+    baseline: a steady mixed feed (``attack_fraction`` attack traffic at the
+    training operating point), then a covariate-shift ramp up to ``drift_to``
+    **aimed along the generator's evasion direction** (attack cluster →
+    normal prototype, see :meth:`TrafficGenerator.evasion_direction`).  The
+    class mix never changes, so the DR collapse is purely feature drift —
+    attack traffic migrating into the region the detector learned as
+    benign, the degradation a deployed detector cannot see in its labels.
+    Aiming the drift makes the degradation deterministic; the stream's
+    default random direction lands on an arbitrary side of the decision
+    boundary and may leave DR untouched.
+
+    The shift *holds* for the longest segment (``degraded-hold``, where a
+    supervisor is expected to trigger, retrain on its replay buffer of
+    drifted batches, and hot-swap), and the final ``recovery-window``
+    continues the same drifted distribution so the per-phase report cleanly
+    separates pre- and post-swap quality.
+
+    Served without a supervisor, the preset is a plain drift-regression
+    stream: all execution models must still agree on its confusion counts
+    bit for bit.
+    """
+    if not 0.0 < attack_fraction < 1.0:
+        raise ValueError("attack_fraction must be in (0, 1)")
+    if drift_to <= 0.0:
+        raise ValueError("drift_to must be positive (this is a drift scenario)")
+    normal = generator.schema.normal_class
+    attack = _pick_attack(generator, attack_class, ("dos",), "attack")
+    mixed = {normal: 1.0 - attack_fraction, attack: attack_fraction}
+    scenario = Scenario(
+        "retrain-recovery",
+        (
+            Segment("baseline", baseline_batches, Constant(mixed),
+                    rate_hint=RATE_BASELINE),
+            Segment("drift-onset", onset_batches, Constant(mixed),
+                    drift=Drift(to=drift_to), rate_hint=RATE_BASELINE),
+            Segment("degraded-hold", degraded_batches, Constant(mixed),
+                    rate_hint=RATE_BASELINE),
+            Segment("recovery-window", recovery_batches, Constant(mixed),
+                    rate_hint=RATE_BASELINE),
+        ),
+    )
+    return scenario.build(
+        generator,
+        batch_size=batch_size,
+        seed=seed,
+        drift_direction=generator.evasion_direction(attack),
+    )
+
+
 def fleet_scenario(
     generators: Optional[Sequence[TrafficGenerator]] = None,
     batch_size: int = 64,
@@ -348,4 +413,5 @@ SINGLE_STREAM_PRESETS = {
     "probe-sweep": probe_sweep_scenario,
     "imbalance-shift": imbalance_shift_scenario,
     "slow-dos": slow_dos_scenario,
+    "retrain-recovery": retrain_recovery_scenario,
 }

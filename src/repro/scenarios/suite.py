@@ -27,13 +27,18 @@ from typing import Callable, Dict, Mapping, Optional
 from ..core.detector import PelicanDetector
 from ..data.nslkdd import nslkdd_generator
 from ..data.unswnb15 import unswnb15_generator
+from ..serving.lifecycle import DriftPolicy, DriftSupervisor
 from ..serving.service import DetectionService, ServiceReport
 from ..serving.sharding import ShardedDetectionService
 from ..serving.workers import WorkerPool
 from .fleet import build_fleet_service, validate_detector_keys
-from .presets import SINGLE_STREAM_PRESETS, fleet_scenario
+from .presets import (
+    SINGLE_STREAM_PRESETS,
+    fleet_scenario,
+    retrain_recovery_scenario,
+)
 
-__all__ = ["ScenarioSuite", "report_row"]
+__all__ = ["ScenarioSuite", "report_row", "lifecycle_row", "DEFAULT_LIFECYCLE_POLICY"]
 
 #: Generator factories per schema name (the canonical synthetic populations).
 _GENERATOR_FACTORIES = {
@@ -43,6 +48,14 @@ _GENERATOR_FACTORIES = {
 
 SINGLE_STREAM_MODELS = ("synchronous", "worker-pool", "sharded")
 FLEET_MODELS = ("sharded", "sharded-workers")
+
+#: Supervisor thresholds for the suite's lifecycle run.  The rolling window
+#: is wide, so the drifted traffic has to move the *cumulative* FAR/DR a
+#: long way before these trip — a trigger means genuine degradation, not a
+#: noisy batch.
+DEFAULT_LIFECYCLE_POLICY = DriftPolicy(
+    far_ceiling=0.20, dr_floor=0.80, min_records=256, cooldown_records=512
+)
 
 
 def _quality(report) -> Dict[str, float]:
@@ -76,6 +89,33 @@ def report_row(report: ServiceReport) -> Dict[str, object]:
     return row
 
 
+def lifecycle_row(outcome) -> Dict[str, object]:
+    """Flatten a :class:`~repro.serving.lifecycle.LifecycleOutcome` to JSON.
+
+    Carries the event timeline, the per-batch rolling DR/FAR curves and the
+    recovery-time headline alongside the usual service-report row — the
+    shape ``BENCH_scenarios.json`` records as the lifecycle baseline.
+    """
+    return {
+        "events": [
+            {
+                "kind": event.kind,
+                "batch_index": event.batch_index,
+                "records_seen": event.records_seen,
+                "detail": {k: str(v) for k, v in event.detail.items()},
+            }
+            for event in outcome.events
+        ],
+        "triggered": outcome.triggered,
+        "promoted": outcome.promoted,
+        "recovery_batches": outcome.recovery_batches,
+        "recovery_seconds": outcome.recovery_seconds,
+        "dr_curve": outcome.dr_curve,
+        "far_curve": outcome.far_curve,
+        "report": report_row(outcome.report),
+    }
+
+
 class ScenarioSuite:
     """Sweep scenario presets across the serving execution models.
 
@@ -104,6 +144,25 @@ class ScenarioSuite:
     include_fleet:
         Set ``False`` to skip the cross-dataset preset even when both
         detectors are available.
+    include_lifecycle:
+        Run the ``retrain-recovery`` preset a second time under a
+        :class:`~repro.serving.lifecycle.DriftSupervisor` (inline retrain)
+        and record the event timeline, DR/FAR curves and recovery time in
+        the result tree's ``lifecycle`` entry.  Off by default: the
+        supervised run *retrains a detector*, which the quick sweeps the
+        suite is also used for should not pay; ``benchmarks/
+        test_bench_scenarios.py`` switches it on for the baseline.
+    lifecycle_policy / lifecycle_trainer / lifecycle_scenario:
+        Supervisor knobs for that run: the :class:`DriftPolicy` (default
+        :data:`DEFAULT_LIFECYCLE_POLICY`), the retrainer (default: clone
+        the serving architecture, fit on the replay buffer) and the
+        scenario factory (default :func:`retrain_recovery_scenario`).
+    lifecycle_window:
+        Rolling-monitor width for the supervised service only.  The sweep
+        services use the suite-wide (practically unbounded) ``window`` so
+        their counts are exact totals; the supervisor instead needs a
+        *recent-traffic* window, otherwise early clean traffic dilutes the
+        degradation signal and the policy triggers late.
     """
 
     def __init__(
@@ -116,6 +175,11 @@ class ScenarioSuite:
         replica_shards: int = 2,
         scenarios: Optional[Mapping[str, Callable]] = None,
         include_fleet: bool = True,
+        include_lifecycle: bool = False,
+        lifecycle_policy: Optional[DriftPolicy] = None,
+        lifecycle_trainer: Optional[Callable] = None,
+        lifecycle_scenario: Optional[Callable] = None,
+        lifecycle_window: int = 512,
     ) -> None:
         if not detectors:
             raise ValueError("ScenarioSuite needs at least one fitted detector")
@@ -130,6 +194,11 @@ class ScenarioSuite:
             scenarios if scenarios is not None else SINGLE_STREAM_PRESETS
         )
         self.include_fleet = bool(include_fleet)
+        self.include_lifecycle = bool(include_lifecycle)
+        self.lifecycle_policy = lifecycle_policy or DEFAULT_LIFECYCLE_POLICY
+        self.lifecycle_trainer = lifecycle_trainer
+        self.lifecycle_scenario = lifecycle_scenario or retrain_recovery_scenario
+        self.lifecycle_window = int(lifecycle_window)
 
     # ------------------------------------------------------------------ #
     def _service(self, detector: PelicanDetector) -> DetectionService:
@@ -226,4 +295,37 @@ class ScenarioSuite:
                     )
                     entry["models"][model] = report_row(report)
                 results["scenarios"]["fleet"] = entry
+
+        if self.include_lifecycle:
+            stream = self.lifecycle_scenario(
+                generator, batch_size=self.batch_size, seed=self.seed
+            )
+            supervised_service = DetectionService(
+                primary,
+                max_batch_size=max(self.batch_size, 1),
+                flush_interval=0.0,
+                window=self.lifecycle_window,
+            )
+            supervisor = DriftSupervisor(
+                supervised_service,
+                policy=self.lifecycle_policy,
+                trainer=self.lifecycle_trainer,
+                background=False,  # deterministic: retrain at the boundary
+            )
+            outcome = supervisor.run_stream(stream)
+            results["lifecycle"] = {
+                "scenario": "retrain-recovery",
+                "dataset": primary_name,
+                "total_batches": stream.total_batches,
+                "total_records": stream.total_records,
+                "window": self.lifecycle_window,
+                "policy": {
+                    "far_ceiling": self.lifecycle_policy.far_ceiling,
+                    "dr_floor": self.lifecycle_policy.dr_floor,
+                    "unknown_ceiling": self.lifecycle_policy.unknown_ceiling,
+                    "min_records": self.lifecycle_policy.min_records,
+                    "cooldown_records": self.lifecycle_policy.cooldown_records,
+                },
+                **lifecycle_row(outcome),
+            }
         return results

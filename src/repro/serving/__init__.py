@@ -38,6 +38,14 @@ Three execution models run on that path:
   and with replica routing the merged confusion counts equal the
   single-service run on the same stream.
 
+The model lifecycle lives in :mod:`repro.serving.lifecycle`:
+:class:`DetectorCheckpoint` (single-archive save/load reconstructing a
+scoring-identical detector), :class:`ShadowDeployment` (a challenger scores
+the primary's traffic into its own monitors, any execution model) and
+:class:`DriftSupervisor` (rolling-FAR/DR + vocabulary-drift thresholds →
+replay-buffer retrain → atomic zero-drop hot-swap on a batch boundary).
+See ``docs/SERVING.md``.
+
 Workloads come from the :mod:`repro.scenarios` library — declarative
 episodes compiled onto the :class:`repro.data.TrafficStream` driver:
 floods, low-and-slow probes, slow-rate DoS, class-imbalance shifts and the
@@ -58,6 +66,17 @@ from .service import (
 )
 from .sharding import ShardedDetectionService, ShardRouter
 from .workers import WorkerPool
+from .lifecycle import (
+    DetectorCheckpoint,
+    DriftPolicy,
+    DriftSupervisor,
+    LifecycleEvent,
+    LifecycleOutcome,
+    ReplayBuffer,
+    ShadowComparison,
+    ShadowDeployment,
+    ShadowReport,
+)
 
 __all__ = [
     "MicroBatcher",
@@ -71,4 +90,13 @@ __all__ = [
     "WorkerPool",
     "ShardRouter",
     "ShardedDetectionService",
+    "DetectorCheckpoint",
+    "ShadowDeployment",
+    "ShadowComparison",
+    "ShadowReport",
+    "DriftPolicy",
+    "DriftSupervisor",
+    "LifecycleEvent",
+    "LifecycleOutcome",
+    "ReplayBuffer",
 ]

@@ -1,0 +1,215 @@
+"""Shadow deployment: trial a challenger detector on live traffic.
+
+A challenger fresh out of retraining should not take over the request path
+on faith.  :class:`ShadowDeployment` runs it *in shadow*: the challenger
+scores exactly the records the primary serves — through its own
+micro-batcher configured identically, so the micro-batch boundaries match
+— into its **own** monitors, while the primary's results remain the only
+ones anything downstream sees.  The primary can be any execution model:
+
+* a synchronous :class:`~repro.serving.service.DetectionService`;
+* a :class:`~repro.serving.workers.WorkerPool` (challenger scores inline on
+  the driving thread while the primary fans out to its workers);
+* a :class:`~repro.serving.sharding.ShardedDetectionService` (the
+  challenger shadows the *whole* fleet's traffic — which requires a
+  single-schema stream, i.e. replica or class-family sharding).
+
+The deployment's :meth:`~ShadowDeployment.run_stream` tees the stream:
+each :class:`~repro.data.generator.StreamBatch` is first fed to the
+challenger (with its own per-phase attribution) and then yielded onward to
+the primary's own ``run_stream``, so both sides observe the identical
+record sequence and the primary's ordering guarantees are untouched.  The
+result is a :class:`ShadowReport` carrying both service reports plus a
+:class:`ShadowComparison` — per-phase and overall DR/FAR/ACC deltas and a
+promotion verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Iterator, Optional, Union
+
+from ...core.detector import PelicanDetector
+from ...data.generator import StreamBatch
+from ...metrics.ids_metrics import DetectionReport
+from ..service import DetectionService, PhaseAttributor, ServiceReport
+from ..sharding import ShardedDetectionService
+from ..workers import WorkerPool
+
+__all__ = ["ShadowDeployment", "ShadowComparison", "ShadowReport"]
+
+#: Execution models a shadow can attach to.
+Primary = Union[DetectionService, WorkerPool, ShardedDetectionService]
+
+
+@dataclass(frozen=True)
+class ShadowComparison:
+    """Side-by-side quality deltas (challenger minus primary).
+
+    Positive ``dr_delta`` / ``acc_delta`` and negative ``far_delta`` favour
+    the challenger.  ``phase_deltas`` maps each phase both sides served to
+    ``{"dr": ..., "far": ..., "acc": ...}`` delta rows.
+    """
+
+    records: int
+    dr_delta: float
+    far_delta: float
+    acc_delta: float
+    phase_deltas: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def challenger_wins(
+        self,
+        min_dr_gain: float = 0.0,
+        max_far_regression: float = 0.0,
+    ) -> bool:
+        """Promotion verdict: DR improved enough, FAR did not regress too far."""
+        return (
+            self.dr_delta >= min_dr_gain
+            and self.far_delta <= max_far_regression
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"ShadowComparison(records={self.records}, "
+            f"ΔDR={self.dr_delta:+.4f}, ΔFAR={self.far_delta:+.4f}, "
+            f"ΔACC={self.acc_delta:+.4f})"
+        )
+
+
+@dataclass(frozen=True)
+class ShadowReport:
+    """Outcome of one shadowed stream: both reports plus the comparison."""
+
+    primary: ServiceReport
+    challenger: ServiceReport
+    comparison: ShadowComparison
+
+
+def compare_reports(
+    primary: ServiceReport, challenger: ServiceReport
+) -> ShadowComparison:
+    """Build the delta row from two service reports over the same records."""
+
+    def deltas(a: Optional[DetectionReport], b: Optional[DetectionReport]):
+        if a is None or b is None:
+            return 0.0, 0.0, 0.0
+        return (
+            b.detection_rate - a.detection_rate,
+            b.false_alarm_rate - a.false_alarm_rate,
+            b.accuracy - a.accuracy,
+        )
+
+    dr_delta, far_delta, acc_delta = deltas(primary.rolling, challenger.rolling)
+    phase_deltas: Dict[str, Dict[str, float]] = {}
+    for phase, primary_phase in primary.phase_reports.items():
+        challenger_phase = challenger.phase_reports.get(phase)
+        if challenger_phase is None:
+            continue
+        dr, far, acc = deltas(primary_phase, challenger_phase)
+        phase_deltas[phase] = {"dr": dr, "far": far, "acc": acc}
+    return ShadowComparison(
+        records=challenger.records,
+        dr_delta=dr_delta,
+        far_delta=far_delta,
+        acc_delta=acc_delta,
+        phase_deltas=phase_deltas,
+    )
+
+
+class ShadowDeployment:
+    """Score a challenger on the primary's traffic without serving it.
+
+    Parameters
+    ----------
+    primary:
+        The serving execution model (service, worker pool or sharded fleet).
+    challenger:
+        A fitted detector to trial, or a ready-made
+        :class:`DetectionService` for it.  When a detector is given, the
+        shadow service mirrors the primary's micro-batching policy and
+        monitor window so the two sides batch and window identically.
+    """
+
+    def __init__(
+        self,
+        primary: Primary,
+        challenger: Union[PelicanDetector, DetectionService],
+    ) -> None:
+        self.primary = primary
+        template = self._template_service(primary)
+        if isinstance(challenger, DetectionService):
+            self.challenger_service = challenger
+        else:
+            self.challenger_service = DetectionService(
+                challenger,
+                max_batch_size=template.batcher.max_batch_size,
+                flush_interval=template.batcher.flush_interval,
+                window=template.monitor.window,
+                fast=template.fast,
+                clock=template.clock,
+            )
+        if (
+            self.challenger_service.pipeline.class_names
+            != template.pipeline.class_names
+        ):
+            raise ValueError(
+                "challenger class order does not match the primary's; a "
+                "shadow comparison over mismatched labels is meaningless"
+            )
+
+    @staticmethod
+    def _template_service(primary: Primary) -> DetectionService:
+        if isinstance(primary, DetectionService):
+            return primary
+        if isinstance(primary, WorkerPool):
+            return primary.service
+        if isinstance(primary, ShardedDetectionService):
+            return primary.shards[0]
+        raise TypeError(
+            f"unsupported primary {type(primary).__name__}; expected "
+            "DetectionService, WorkerPool or ShardedDetectionService"
+        )
+
+    # ------------------------------------------------------------------ #
+    def run_stream(
+        self,
+        stream: Iterable[StreamBatch],
+        max_batches: Optional[int] = None,
+        **primary_kwargs,
+    ) -> ShadowReport:
+        """Serve the stream on the primary while the challenger shadows it.
+
+        Extra keyword arguments go to the primary's ``run_stream`` (e.g.
+        ``num_workers=...`` for a sharded primary).  The challenger scores
+        each stream batch synchronously on the driving thread *before* the
+        batch is handed to the primary, so both sides see the identical
+        record sequence; its report carries its own per-phase attribution.
+        """
+        self.challenger_service.flush()  # pre-stream records belong to no phase
+        attributor = PhaseAttributor(
+            normal_index=self.challenger_service.pipeline.normal_index,
+            window=self.challenger_service.monitor.window,
+        )
+
+        def tee() -> Iterator[StreamBatch]:
+            served = 0
+            for stream_batch in stream:
+                if max_batches is not None and served >= max_batches:
+                    break
+                attributor.expect(stream_batch.phase, len(stream_batch.records))
+                for result in self.challenger_service.submit(stream_batch.records):
+                    attributor.attribute(result)
+                yield stream_batch
+                served += 1
+
+        primary_report = self.primary.run_stream(tee(), **primary_kwargs)
+        for result in self.challenger_service.flush():
+            attributor.attribute(result)
+        challenger_report = replace(
+            self.challenger_service.report(), phase_reports=attributor.reports()
+        )
+        return ShadowReport(
+            primary=primary_report,
+            challenger=challenger_report,
+            comparison=compare_reports(primary_report, challenger_report),
+        )

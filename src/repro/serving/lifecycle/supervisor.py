@@ -1,0 +1,692 @@
+"""Drift-triggered retraining and zero-drop hot-swap.
+
+The serving tier measures its own degradation — rolling DR/FAR windows and
+per-column unknown-categorical drift counters — but through PR 3 it could
+only *report* it.  :class:`DriftSupervisor` closes the loop:
+
+1. **Watch** — after every stream batch the supervisor evaluates a
+   :class:`DriftPolicy` against the service's rolling report and the
+   vocabulary-drift counters.
+2. **Remember** — a bounded :class:`ReplayBuffer` keeps the most recent
+   labelled batches; when drift trips the policy, the buffer snapshot is
+   the challenger's training set (it contains the drifted distribution the
+   primary was trained without).
+3. **Retrain** — a trainer callable produces the challenger, on a
+   background thread by default so serving continues at full rate, or
+   inline (``background=False``) for deterministic tests.
+4. **Trial** — optionally the challenger shadows the next
+   ``shadow_batches`` stream batches into its own monitor before a
+   promotion decision is taken.
+5. **Swap** — promotion is an atomic hot-swap committed on a batch
+   boundary: the execution model is flushed (every dispatched batch scored
+   and committed, nothing pending in any micro-batcher), then
+   :meth:`~repro.serving.service.DetectionService.swap_detector` replaces
+   the engine in one attribute store.  No record is dropped or scored
+   twice, and because predictions are per-record deterministic, the run's
+   confusion counts are bitwise-equal to a drain-stop-restart deployment
+   of the same two models at the same boundary.
+
+The supervisor drives any of the three execution models through a small
+adapter: a synchronous :class:`~repro.serving.service.DetectionService`, a
+:class:`~repro.serving.workers.WorkerPool` (results commit in submission
+order, so attribution is unchanged) or a
+:class:`~repro.serving.sharding.ShardedDetectionService` (per-shard
+attribution mirrors its own ``run_stream``; a swap replaces every shard's
+engine — replica fleets share one detector, so one challenger serves all).
+
+:meth:`DriftSupervisor.run_stream` returns a :class:`LifecycleOutcome`:
+the final :class:`~repro.serving.service.ServiceReport` plus the event
+timeline (drift detected → retrain complete → promoted), the per-batch
+rolling-DR curve and recovery-time accessors — the numbers
+``BENCH_scenarios.json`` records for the ``retrain-recovery`` preset.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Union
+
+from ...core.detector import PelicanDetector
+from ...data.dataset import TrafficRecords
+from ...data.generator import StreamBatch
+from ...metrics.ids_metrics import DetectionReport
+from ..service import BatchResult, DetectionService, PhaseAttributor, ServiceReport
+from ..sharding import ShardedDetectionService
+from ..workers import WorkerPool
+
+__all__ = [
+    "DriftPolicy",
+    "ReplayBuffer",
+    "LifecycleEvent",
+    "LifecycleOutcome",
+    "DriftSupervisor",
+    "default_retrainer",
+]
+
+#: Trainer signature: (replay records, currently serving detector) -> challenger.
+Trainer = Callable[[TrafficRecords, PelicanDetector], PelicanDetector]
+
+
+def default_retrainer(
+    records: TrafficRecords, detector: PelicanDetector
+) -> PelicanDetector:
+    """Clone the serving architecture and fit it on the replay buffer."""
+    challenger = detector.clone_architecture()
+    challenger.fit(records)
+    return challenger
+
+
+@dataclass(frozen=True)
+class DriftPolicy:
+    """When is the serving detector considered degraded?
+
+    Thresholds are evaluated after every stream batch; any one tripping
+    triggers a retrain.  ``None`` disables a dimension.
+
+    Parameters
+    ----------
+    far_ceiling:
+        Trigger when the rolling false-alarm rate exceeds this.
+    dr_floor:
+        Trigger when the rolling detection rate falls below this (only
+        evaluated while the window contains attack traffic — DR over zero
+        attacks is vacuously 0 and must not trip the policy).
+    unknown_ceiling:
+        Trigger when this many serve-time categorical values outside the
+        training vocabulary have accumulated since the last swap (or the
+        start of the run).
+    min_records:
+        Do not evaluate the quality thresholds before the rolling window
+        holds at least this many records (fresh windows are noisy).
+    cooldown_records:
+        After a swap (or the start of the run), serve at least this many
+        records before the policy may trigger again.
+    """
+
+    far_ceiling: Optional[float] = None
+    dr_floor: Optional[float] = None
+    unknown_ceiling: Optional[int] = None
+    min_records: int = 256
+    cooldown_records: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("far_ceiling", "dr_floor"):
+            value = getattr(self, name)
+            if value is not None and not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1] when given")
+        if self.unknown_ceiling is not None and self.unknown_ceiling < 0:
+            raise ValueError("unknown_ceiling must be non-negative when given")
+        if self.min_records < 0 or self.cooldown_records < 0:
+            raise ValueError("min_records and cooldown_records must be non-negative")
+        if (
+            self.far_ceiling is None
+            and self.dr_floor is None
+            and self.unknown_ceiling is None
+        ):
+            raise ValueError("a DriftPolicy needs at least one enabled threshold")
+
+    def check(
+        self, rolling: Optional[DetectionReport], unknown_since_mark: int
+    ) -> Optional[str]:
+        """The trigger reason, or ``None`` while everything is healthy."""
+        if (
+            self.unknown_ceiling is not None
+            and unknown_since_mark >= self.unknown_ceiling
+        ):
+            return (
+                f"unknown-categoricals {unknown_since_mark} >= "
+                f"{self.unknown_ceiling}"
+            )
+        if rolling is None or rolling.total < self.min_records:
+            return None
+        if (
+            self.far_ceiling is not None
+            and rolling.false_alarm_rate > self.far_ceiling
+        ):
+            return (
+                f"rolling FAR {rolling.false_alarm_rate:.4f} > "
+                f"{self.far_ceiling:.4f}"
+            )
+        if (
+            self.dr_floor is not None
+            and (rolling.tp + rolling.fn) > 0
+            and rolling.detection_rate < self.dr_floor
+        ):
+            return (
+                f"rolling DR {rolling.detection_rate:.4f} < {self.dr_floor:.4f}"
+            )
+        return None
+
+
+class ReplayBuffer:
+    """Bounded FIFO of recent labelled record batches.
+
+    Whole batches are evicted oldest-first once the record budget is
+    exceeded, so the buffer always holds the *most recent* traffic — which
+    is exactly the distribution a drift-triggered retrain must learn.
+    """
+
+    def __init__(self, max_records: int = 4096) -> None:
+        if max_records <= 0:
+            raise ValueError("max_records must be positive")
+        self.max_records = int(max_records)
+        self._batches: List[TrafficRecords] = []
+        self._records = 0
+
+    def __len__(self) -> int:
+        return self._records
+
+    def append(self, records: TrafficRecords) -> None:
+        if len(records) == 0:
+            return
+        self._batches.append(records)
+        self._records += len(records)
+        while self._records > self.max_records and len(self._batches) > 1:
+            evicted = self._batches.pop(0)
+            self._records -= len(evicted)
+
+    def snapshot(self) -> TrafficRecords:
+        """The buffered records as one batch (oldest first)."""
+        if not self._batches:
+            raise RuntimeError("the replay buffer is empty")
+        if len(self._batches) == 1:
+            return self._batches[0]
+        return TrafficRecords.concatenate(list(self._batches))
+
+
+@dataclass(frozen=True)
+class LifecycleEvent:
+    """One timeline entry of a supervised run."""
+
+    kind: str               # drift-detected | retrain-complete | retrain-failed
+    #                       # | promoted | trial-rejected
+    batch_index: int        # stream batch after which the event fired
+    records_seen: int       # records served when it fired
+    time: float             # service-clock reading
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        detail = ", ".join(f"{k}={v}" for k, v in self.detail.items())
+        return (
+            f"[batch {self.batch_index:>4d} | {self.records_seen:>6d} rec] "
+            f"{self.kind}" + (f" ({detail})" if detail else "")
+        )
+
+
+@dataclass(frozen=True)
+class LifecycleOutcome:
+    """What a supervised stream run produced."""
+
+    report: ServiceReport
+    events: List[LifecycleEvent]
+    dr_curve: List[Optional[float]]   # rolling DR after each stream batch
+    far_curve: List[Optional[float]]  # rolling FAR after each stream batch
+
+    def _first(self, kind: str) -> Optional[LifecycleEvent]:
+        return next((e for e in self.events if e.kind == kind), None)
+
+    @property
+    def triggered(self) -> bool:
+        return self._first("drift-detected") is not None
+
+    @property
+    def promoted(self) -> bool:
+        return self._first("promoted") is not None
+
+    @property
+    def recovery_batches(self) -> Optional[int]:
+        """Stream batches from drift detection to promotion (None if no swap)."""
+        detected, promoted = self._first("drift-detected"), self._first("promoted")
+        if detected is None or promoted is None:
+            return None
+        return promoted.batch_index - detected.batch_index
+
+    @property
+    def recovery_seconds(self) -> Optional[float]:
+        """Service-clock seconds from drift detection to promotion."""
+        detected, promoted = self._first("drift-detected"), self._first("promoted")
+        if detected is None or promoted is None:
+            return None
+        return promoted.time - detected.time
+
+
+# ---------------------------------------------------------------------- #
+# Execution-model adapters
+# ---------------------------------------------------------------------- #
+#: Per-phase attribution window for supervised runs.  The service's own
+#: rolling window stays small (it is the drift signal), but the outcome's
+#: per-phase rows are a baseline artifact and must be exact totals — a
+#: windowed phase row would silently truncate phases longer than the
+#: rolling window and skew ``BENCH_scenarios.json`` comparisons.
+_PHASE_WINDOW = 1 << 20
+
+
+class _ServiceAdapter:
+    """Synchronous :class:`DetectionService` under supervision."""
+
+    def __init__(self, service: DetectionService) -> None:
+        self.service = service
+        self.attributor = PhaseAttributor(
+            normal_index=service.pipeline.normal_index,
+            window=max(service.monitor.window, _PHASE_WINDOW),
+        )
+
+    def open(self) -> None:
+        self.service.flush()  # pre-stream records belong to no phase
+
+    def submit(self, stream_batch: StreamBatch) -> List[BatchResult]:
+        self.attributor.expect(stream_batch.phase, len(stream_batch.records))
+        results = self.service.submit(stream_batch.records)
+        for result in results:
+            self.attributor.attribute(result)
+        return results
+
+    def flush(self) -> List[BatchResult]:
+        """Drain every pending and in-flight batch — the swap boundary."""
+        results = self.service.flush()
+        for result in results:
+            self.attributor.attribute(result)
+        return results
+
+    def close(self) -> None:
+        pass
+
+    def swap(self, challenger: PelicanDetector) -> None:
+        self.service.swap_detector(challenger)
+
+    def rolling_report(self) -> Optional[DetectionReport]:
+        return self.service.monitor.report()
+
+    def unknown_total(self) -> int:
+        return sum(self.service.pipeline.unknown_categoricals.values())
+
+    def records_seen(self) -> int:
+        return self.service.monitor.seen
+
+    def clock(self) -> float:
+        return self.service.clock()
+
+    def serving_detector(self) -> PelicanDetector:
+        return self.service.detector
+
+    def final_report(self) -> ServiceReport:
+        return replace(
+            self.service.report(), phase_reports=self.attributor.reports()
+        )
+
+
+class _PoolAdapter(_ServiceAdapter):
+    """Worker-pool execution under supervision.
+
+    Results are collected through the pool's submit/flush returns, which
+    deliver them in submission order (the reorder buffer's guarantee), so
+    the single-attributor bookkeeping of the synchronous adapter carries
+    over unchanged — results merely arrive a few batches late.
+    """
+
+    def __init__(self, pool: WorkerPool) -> None:
+        super().__init__(pool.service)
+        if pool._result_callback is not None:
+            # A standing callback would swallow the committed results the
+            # adapter attributes phases from.
+            raise ValueError(
+                "DriftSupervisor cannot supervise a WorkerPool constructed "
+                "with a result_callback"
+            )
+        self.pool = pool
+        self._owns_lifecycle = False
+
+    def open(self) -> None:
+        if not self.pool.running:
+            self.pool.start()
+            self._owns_lifecycle = True
+        self.pool.flush()  # drain pre-stream work before attribution starts
+
+    def submit(self, stream_batch: StreamBatch) -> List[BatchResult]:
+        self.attributor.expect(stream_batch.phase, len(stream_batch.records))
+        results = self.pool.submit(stream_batch.records)
+        for result in results:
+            self.attributor.attribute(result)
+        return results
+
+    def flush(self) -> List[BatchResult]:
+        results = self.pool.flush()
+        for result in results:
+            self.attributor.attribute(result)
+        return results
+
+    def close(self) -> None:
+        if self._owns_lifecycle:
+            self.pool.close()
+            self._owns_lifecycle = False
+
+
+class _ShardedAdapter:
+    """Sharded execution under supervision (inline shard scoring).
+
+    Mirrors :meth:`ShardedDetectionService.run_stream`: one attributor per
+    shard, router-partitioned submissions, merged per-phase reports.  A
+    swap replaces *every* shard's engine with the challenger — the replica
+    fleet the supervisor targets shares one detector across shards.
+    """
+
+    def __init__(self, sharded: ShardedDetectionService) -> None:
+        self.sharded = sharded
+        self.attributors = [
+            PhaseAttributor(
+                normal_index=shard.pipeline.normal_index,
+                window=max(shard.monitor.window, _PHASE_WINDOW),
+            )
+            for shard in sharded.shards
+        ]
+
+    def open(self) -> None:
+        self.sharded.flush()
+
+    def submit(self, stream_batch: StreamBatch) -> List[BatchResult]:
+        results: List[BatchResult] = []
+        for index, indices in enumerate(
+            self.sharded.router.route(stream_batch.records)
+        ):
+            if len(indices) == 0:
+                continue
+            part = stream_batch.records.subset(indices)
+            self.attributors[index].expect(stream_batch.phase, len(part))
+            for result in self.sharded.shards[index].submit(part):
+                self.attributors[index].attribute(result)
+                results.append(result)
+        return results
+
+    def flush(self) -> List[BatchResult]:
+        results: List[BatchResult] = []
+        for index, shard in enumerate(self.sharded.shards):
+            for result in shard.flush():
+                self.attributors[index].attribute(result)
+                results.append(result)
+        return results
+
+    def close(self) -> None:
+        pass
+
+    def swap(self, challenger: PelicanDetector) -> None:
+        for shard in self.sharded.shards:
+            shard.swap_detector(challenger)
+
+    def rolling_report(self) -> Optional[DetectionReport]:
+        parts = [
+            report
+            for shard in self.sharded.shards
+            if (report := shard.monitor.report()) is not None
+        ]
+        return DetectionReport.merge(parts) if parts else None
+
+    def unknown_total(self) -> int:
+        return sum(
+            count
+            for shard in self.sharded.shards
+            for count in shard.pipeline.unknown_categoricals.values()
+        )
+
+    def records_seen(self) -> int:
+        return sum(shard.monitor.seen for shard in self.sharded.shards)
+
+    def clock(self) -> float:
+        return self.sharded.shards[0].clock()
+
+    def serving_detector(self) -> PelicanDetector:
+        return self.sharded.shards[0].detector
+
+    def final_report(self) -> ServiceReport:
+        merged: Dict[str, DetectionReport] = {}
+        for attributor in self.attributors:
+            for phase, report in attributor.reports().items():
+                existing = merged.get(phase)
+                merged[phase] = (
+                    report
+                    if existing is None
+                    else DetectionReport.merge([existing, report])
+                )
+        return self.sharded._merge(phase_reports=merged)
+
+
+# ---------------------------------------------------------------------- #
+Supervised = Union[DetectionService, WorkerPool, ShardedDetectionService]
+
+
+class DriftSupervisor:
+    """Close the measure → retrain → swap loop over a served stream.
+
+    Parameters
+    ----------
+    target:
+        The execution model to supervise: a synchronous service, a worker
+        pool or a (replica-)sharded service.
+    policy:
+        The :class:`DriftPolicy` thresholds.
+    trainer:
+        ``(replay records, serving detector) -> challenger`` callable;
+        defaults to :func:`default_retrainer` (clone the architecture, fit
+        on the replay buffer).
+    replay_records:
+        Capacity of the :class:`ReplayBuffer`.
+    shadow_batches:
+        Stream batches the challenger shadows before the promotion
+        decision; ``0`` promotes at the first boundary after the retrain
+        completes.
+    promote_if:
+        Optional ``(challenger trial report, primary rolling report) ->
+        bool`` gate evaluated after the trial; defaults to unconditional
+        promotion.  Only consulted when ``shadow_batches > 0``.
+    background:
+        Retrain on a daemon thread (serving continues meanwhile).  With
+        ``False`` the retrain runs inline at the trigger boundary —
+        deterministic, used by tests and benchmarks.
+    max_retrains:
+        Upper bound on retrain cycles in one run (a runaway-threshold
+        backstop).
+    """
+
+    def __init__(
+        self,
+        target: Supervised,
+        policy: DriftPolicy,
+        trainer: Optional[Trainer] = None,
+        replay_records: int = 4096,
+        shadow_batches: int = 0,
+        promote_if: Optional[
+            Callable[[DetectionReport, Optional[DetectionReport]], bool]
+        ] = None,
+        background: bool = True,
+        max_retrains: int = 4,
+    ) -> None:
+        if shadow_batches < 0:
+            raise ValueError("shadow_batches must be non-negative")
+        if max_retrains <= 0:
+            raise ValueError("max_retrains must be positive")
+        self._adapter(target)  # fail fast on unsupported/mis-configured targets
+        self.target = target
+        self.policy = policy
+        self.trainer = trainer or default_retrainer
+        self.replay = ReplayBuffer(max_records=replay_records)
+        self.shadow_batches = int(shadow_batches)
+        self.promote_if = promote_if
+        self.background = bool(background)
+        self.max_retrains = int(max_retrains)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _adapter(target: Supervised):
+        if isinstance(target, WorkerPool):
+            return _PoolAdapter(target)
+        if isinstance(target, ShardedDetectionService):
+            return _ShardedAdapter(target)
+        if isinstance(target, DetectionService):
+            return _ServiceAdapter(target)
+        raise TypeError(
+            f"unsupported target {type(target).__name__}; expected "
+            "DetectionService, WorkerPool or ShardedDetectionService"
+        )
+
+    # ------------------------------------------------------------------ #
+    def run_stream(
+        self,
+        stream,
+        max_batches: Optional[int] = None,
+    ) -> LifecycleOutcome:
+        """Serve the stream under supervision; see the module docstring.
+
+        The returned outcome's report carries the usual rolling, per-phase
+        and throughput numbers — one continuous history across any number
+        of swaps — plus the event timeline and per-batch DR/FAR curves.
+        """
+        adapter = self._adapter(self.target)
+        adapter.open()
+        events: List[LifecycleEvent] = []
+        dr_curve: List[Optional[float]] = []
+        far_curve: List[Optional[float]] = []
+
+        retrain_thread: Optional[threading.Thread] = None
+        retrain_box: Dict[str, object] = {}
+        challenger: Optional[PelicanDetector] = None
+        shadow_service: Optional[DetectionService] = None
+        shadow_remaining = 0
+        retrains = 0
+        unknown_mark = adapter.unknown_total()
+        cooldown_mark = adapter.records_seen()
+
+        def log(kind: str, batch_index: int, **detail) -> None:
+            events.append(
+                LifecycleEvent(
+                    kind=kind,
+                    batch_index=batch_index,
+                    records_seen=adapter.records_seen(),
+                    time=adapter.clock(),
+                    detail=detail,
+                )
+            )
+
+        def start_retrain(batch_index: int, reason: str) -> None:
+            nonlocal retrain_thread, retrains
+            retrains += 1
+            log("drift-detected", batch_index, reason=reason)
+            replay = self.replay.snapshot()
+            serving = adapter.serving_detector()
+            if self.background:
+                def worker() -> None:
+                    try:
+                        retrain_box["challenger"] = self.trainer(replay, serving)
+                    except BaseException as exc:  # surfaced at the boundary
+                        retrain_box["error"] = exc
+                retrain_thread = threading.Thread(
+                    target=worker, name="lifecycle-retrain", daemon=True
+                )
+                retrain_thread.start()
+            else:
+                try:
+                    retrain_box["challenger"] = self.trainer(replay, serving)
+                except Exception as exc:
+                    retrain_box["error"] = exc
+
+        def collect_retrain(batch_index: int, wait: bool) -> None:
+            """Move a finished retrain's result into the challenger slot."""
+            nonlocal retrain_thread, challenger, shadow_service, shadow_remaining
+            if retrain_thread is not None:
+                if wait:
+                    retrain_thread.join()
+                if retrain_thread.is_alive():
+                    return
+                retrain_thread = None
+            if "error" in retrain_box:
+                error = retrain_box.pop("error")
+                log("retrain-failed", batch_index, error=repr(error))
+                return
+            if "challenger" not in retrain_box:
+                return
+            challenger = retrain_box.pop("challenger")
+            log("retrain-complete", batch_index, replay_records=len(self.replay))
+            if self.shadow_batches > 0:
+                shadow_service = DetectionService(
+                    challenger,
+                    max_batch_size=1 << 30,  # score each trial batch whole
+                    flush_interval=0.0,
+                    window=1 << 20,
+                )
+                shadow_remaining = self.shadow_batches
+
+        def promote(batch_index: int) -> None:
+            nonlocal challenger, shadow_service, unknown_mark, cooldown_mark
+            trial_report = None
+            if shadow_service is not None:
+                trial_report = shadow_service.monitor.report()
+                if self.promote_if is not None and not self.promote_if(
+                    trial_report, adapter.rolling_report()
+                ):
+                    log(
+                        "trial-rejected",
+                        batch_index,
+                        trial=str(trial_report) if trial_report else "no traffic",
+                    )
+                    challenger, shadow_service = None, None
+                    cooldown_mark = adapter.records_seen()
+                    return
+            # The swap boundary: drain everything dispatched or pending so
+            # the challenger's first batch is exactly the next submission —
+            # stop-the-world-equivalent, with zero records dropped.
+            adapter.flush()
+            adapter.swap(challenger)
+            detail: Dict[str, object] = {}
+            if trial_report is not None:
+                detail["trial"] = str(trial_report)
+            log("promoted", batch_index, **detail)
+            challenger, shadow_service = None, None
+            unknown_mark = adapter.unknown_total()
+            cooldown_mark = adapter.records_seen()
+
+        served = 0
+        try:
+            for stream_batch in stream:
+                if max_batches is not None and served >= max_batches:
+                    break
+                adapter.submit(stream_batch)
+                self.replay.append(stream_batch.records)
+                if shadow_service is not None and shadow_remaining > 0:
+                    shadow_service.process(stream_batch.records)
+                    shadow_remaining -= 1
+
+                rolling = adapter.rolling_report()
+                dr_curve.append(rolling.detection_rate if rolling else None)
+                far_curve.append(rolling.false_alarm_rate if rolling else None)
+
+                collect_retrain(served, wait=False)
+                if challenger is not None and shadow_remaining == 0:
+                    promote(served)
+                elif (
+                    challenger is None
+                    and retrain_thread is None
+                    and "challenger" not in retrain_box
+                    and retrains < self.max_retrains
+                    and adapter.records_seen() - cooldown_mark
+                    >= self.policy.cooldown_records
+                ):
+                    reason = self.policy.check(
+                        rolling, adapter.unknown_total() - unknown_mark
+                    )
+                    if reason is not None:
+                        start_retrain(served, reason)
+                served += 1
+
+            adapter.flush()
+            # A retrain still running when the stream ends is joined so its
+            # outcome (success or failure) lands in the timeline, but the
+            # challenger is not promoted — there is no next batch boundary.
+            collect_retrain(served, wait=True)
+        finally:
+            adapter.close()
+
+        return LifecycleOutcome(
+            report=adapter.final_report(),
+            events=events,
+            dr_curve=dr_curve,
+            far_curve=far_curve,
+        )

@@ -113,6 +113,18 @@ class CachedPreprocessor:
         with self._unknown_lock:
             return dict(self._unknown_counts)
 
+    def absorb_unknown_counts(self, counts: Dict[str, int]) -> None:
+        """Fold a predecessor's drift tallies into this pipeline's counters.
+
+        A hot-swapped service keeps one continuous drift history: the
+        replacement pipeline starts from the retired pipeline's per-column
+        counts (columns the new vocabulary does not declare are dropped).
+        """
+        with self._unknown_lock:
+            for column, count in counts.items():
+                if column in self._unknown_counts:
+                    self._unknown_counts[column] += int(count)
+
     def transform_inputs(self, records: TrafficRecords) -> np.ndarray:
         """Records → network input ``(n, 1, features)`` (fitted statistics)."""
         n_records = len(records)
@@ -284,10 +296,15 @@ class DetectionService:
     ) -> None:
         if not detector.is_fitted:
             raise RuntimeError("DetectionService requires a fitted detector")
-        self.detector = detector
         self.fast = bool(fast)
         self.clock = clock
-        self.pipeline = CachedPreprocessor(detector.preprocessor)
+        # The scoring engine is one tuple so a hot-swap replaces detector and
+        # pipeline in a single atomic attribute store: a concurrent score()
+        # can never see the new network with the old vocabulary tables.
+        self._engine: Tuple[PelicanDetector, CachedPreprocessor] = (
+            detector,
+            CachedPreprocessor(detector.preprocessor),
+        )
         self.batcher = MicroBatcher(
             max_batch_size=max_batch_size,
             flush_interval=flush_interval,
@@ -299,24 +316,82 @@ class DetectionService:
         self.throughput = ThroughputMonitor(clock=clock)
 
     # ------------------------------------------------------------------ #
+    @property
+    def detector(self) -> PelicanDetector:
+        """The currently serving detector (see :meth:`swap_detector`)."""
+        return self._engine[0]
+
+    @property
+    def pipeline(self) -> CachedPreprocessor:
+        """The currently serving cached preprocessor."""
+        return self._engine[1]
+
+    def swap_detector(
+        self,
+        detector: PelicanDetector,
+        carry_unknown_counts: bool = True,
+    ) -> PelicanDetector:
+        """Atomically replace the serving detector; returns the retired one.
+
+        The swap is a single attribute store, so concurrent scorers see
+        either the old engine or the new one, never a mixture.  It commits
+        on a *batch boundary* by construction — a batch that already read
+        the engine finishes on the model it started with; the next batch
+        picks up the replacement.  Callers that need stop-the-world
+        equivalence (the :class:`~repro.serving.lifecycle.DriftSupervisor`)
+        flush/join first so no batch is in flight and nothing is pending in
+        the micro-batcher.
+
+        Monitors, the micro-batcher and the throughput history all survive
+        the swap untouched: the service keeps one continuous record of the
+        traffic it served, which is what makes a hot-swapped run's confusion
+        counts equal a drain-stop-restart run's record for record.
+
+        The replacement must be fitted on the same schema with the same
+        class order — otherwise the rolling monitors' integer labels would
+        silently change meaning mid-stream.
+        """
+        if not detector.is_fitted:
+            raise RuntimeError("swap_detector requires a fitted detector")
+        old_detector, old_pipeline = self._engine
+        new_pipeline = CachedPreprocessor(detector.preprocessor)
+        if new_pipeline.class_names != old_pipeline.class_names:
+            raise ValueError(
+                f"challenger class order {new_pipeline.class_names} does not "
+                f"match the serving order {old_pipeline.class_names}"
+            )
+        if detector.schema.name != old_detector.schema.name:
+            raise ValueError(
+                f"challenger is fitted on schema {detector.schema.name!r}, "
+                f"the service is serving {old_detector.schema.name!r}"
+            )
+        if carry_unknown_counts:
+            new_pipeline.absorb_unknown_counts(old_pipeline.unknown_categoricals)
+        self._engine = (detector, new_pipeline)
+        return old_detector
+
+    # ------------------------------------------------------------------ #
     def score(self, records: TrafficRecords) -> BatchResult:
         """Run preprocessing + inference on one batch, without side effects.
 
         Thread-safe: touches no monitor state, so the worker pool calls it
-        concurrently and commits the results through :meth:`observe`.
+        concurrently and commits the results through :meth:`observe`.  The
+        engine (detector + pipeline) is read once, so a concurrent
+        :meth:`swap_detector` takes effect only between batches.
         """
+        detector, pipeline = self._engine
         started = self.clock()
-        inputs = self.pipeline.transform_inputs(records)
-        probabilities = self.detector.network.predict(
+        inputs = pipeline.transform_inputs(records)
+        probabilities = detector.network.predict(
             inputs, batch_size=max(len(records), 1), fast=self.fast
         )
         predicted = np.argmax(probabilities, axis=-1)
         finished = self.clock()
-        true_indices = self.pipeline.encode_labels(records)
+        true_indices = pipeline.encode_labels(records)
         return BatchResult(
             size=len(records),
             latency=finished - started,
-            predictions=self.pipeline.decode_labels(predicted),
+            predictions=pipeline.decode_labels(predicted),
             class_indices=predicted,
             true_indices=true_indices,
             finished=finished,

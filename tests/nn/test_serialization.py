@@ -1,10 +1,11 @@
-"""Tests for model weight persistence (save_weights / load_weights)."""
+"""Tests for model weight persistence (save_weights / load_weights) and the
+full-state pair (save_state / load_state) that also carries buffers."""
 
 import numpy as np
 import pytest
 
 import repro.nn as nn
-from repro.nn.serialization import load_weights, save_weights
+from repro.nn.serialization import load_state, load_weights, save_state, save_weights
 
 
 def _model(seed=0):
@@ -64,6 +65,111 @@ class TestSerialization:
         different_width(np.zeros((1, 7)))
         with pytest.raises(ValueError):
             load_weights(different_width, saved)
+
+    def test_shape_mismatch_names_the_offending_array(self, tmp_path):
+        """The error carries the array index and qualified parameter name,
+        not just a bare positional complaint."""
+        model = _model()
+        model(np.zeros((1, 6)))
+        saved = save_weights(model, tmp_path / "m")
+
+        different_width = _model()
+        different_width(np.zeros((1, 7)))
+        with pytest.raises(ValueError, match=r"weight 0 \('.*kernel'\)"):
+            load_weights(different_width, saved)
+
+    def test_shape_mismatch_leaves_the_model_untouched(self, tmp_path):
+        model = _model()
+        model(np.zeros((1, 6)))
+        saved = save_weights(model, tmp_path / "m")
+
+        different_width = _model()
+        different_width(np.zeros((1, 7)))
+        before = [w.copy() for w in different_width.get_weights()]
+        with pytest.raises(ValueError):
+            load_weights(different_width, saved)
+        after = different_width.get_weights()
+        assert all(np.array_equal(b, a) for b, a in zip(before, after))
+
+    def test_count_mismatch_is_reported(self, tmp_path):
+        model = _model()
+        model(np.zeros((1, 6)))
+        saved = save_weights(model, tmp_path / "m")
+
+        shallower = nn.Sequential([nn.Dense(3)])
+        shallower(np.zeros((1, 6)))
+        with pytest.raises(ValueError, match="count mismatch"):
+            load_weights(shallower, saved)
+
+    def test_save_weights_alone_loses_moving_statistics(self, tmp_path):
+        """Documents why save_state exists: BN moving stats are buffers."""
+        model = nn.Sequential(
+            [nn.BatchNormalization(), nn.Dense(3, activation="softmax", seed=0)]
+        )
+        model.compile(optimizer=nn.Adam(0.01), loss="categorical_crossentropy")
+        rng = np.random.default_rng(3)
+        X = rng.normal(2.0, 3.0, size=(64, 5))
+        Y = np.eye(3)[rng.integers(0, 3, size=64)]
+        model.fit(X, Y, epochs=2, batch_size=16, verbose=0)
+        reference = model.predict(X)
+
+        saved = save_weights(model, tmp_path / "weights-only")
+        clone = nn.Sequential(
+            [nn.BatchNormalization(), nn.Dense(3, activation="softmax", seed=9)]
+        )
+        clone(np.zeros((1, 5)))
+        load_weights(clone, saved)
+        # gamma/beta/dense weights match, but the moving statistics are the
+        # fresh build's zeros/ones — inference differs.
+        assert not np.allclose(clone.predict(X), reference)
+
+    def test_save_state_roundtrips_buffers_bitwise(self, tmp_path):
+        model = nn.Sequential(
+            [nn.BatchNormalization(), nn.Dense(3, activation="softmax", seed=0)]
+        )
+        model.compile(optimizer=nn.Adam(0.01), loss="categorical_crossentropy")
+        rng = np.random.default_rng(3)
+        X = rng.normal(2.0, 3.0, size=(64, 5))
+        Y = np.eye(3)[rng.integers(0, 3, size=64)]
+        model.fit(X, Y, epochs=2, batch_size=16, verbose=0)
+        reference = model.predict(X, fast=True)
+
+        saved = save_state(model, tmp_path / "full-state")
+        clone = nn.Sequential(
+            [nn.BatchNormalization(), nn.Dense(3, activation="softmax", seed=9)]
+        )
+        clone(np.zeros((1, 5)))
+        load_state(clone, saved)
+        assert np.array_equal(clone.get_buffers()[0], model.get_buffers()[0])
+        assert np.array_equal(clone.predict(X, fast=True), reference)
+
+    def test_load_state_accepts_weight_only_archives(self, tmp_path):
+        model = _model()
+        model(np.zeros((1, 4)))
+        saved = save_weights(model, tmp_path / "w")
+        clone = _model()
+        clone(np.zeros((1, 4)))
+        load_state(clone, saved)
+        assert all(
+            np.array_equal(a, b)
+            for a, b in zip(clone.get_weights(), model.get_weights())
+        )
+
+    def test_restored_bn_keeps_momentum_semantics(self):
+        """set_buffers marks the moving statistics as seeded: the next
+        training batch blends into them instead of overwriting them."""
+        bn = nn.BatchNormalization(momentum=0.9)
+        bn(np.zeros((4, 5)))
+        restored_mean = np.full(5, 7.0)
+        restored_var = np.full(5, 2.0)
+        bn.set_buffers([restored_mean, restored_var])
+
+        rng = np.random.default_rng(0)
+        batch = rng.normal(size=(32, 5))
+        bn(batch, training=True)
+        new_mean = bn.get_buffers()[0]
+        expected = 0.9 * restored_mean + 0.1 * batch.mean(axis=0)
+        assert np.allclose(new_mean, expected)
 
     def test_residual_block_weights_roundtrip(self, tmp_path):
         from repro.core import NetworkConfig, build_residual_network

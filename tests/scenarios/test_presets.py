@@ -23,6 +23,7 @@ from repro.scenarios import (
     flood_scenario,
     imbalance_shift_scenario,
     probe_sweep_scenario,
+    retrain_recovery_scenario,
     slow_dos_scenario,
 )
 
@@ -274,4 +275,110 @@ class TestFleetScenario:
 def test_registry_lists_every_single_stream_preset():
     assert set(SINGLE_STREAM_PRESETS) == {
         "flood", "probe-sweep", "imbalance-shift", "slow-dos",
+        "retrain-recovery",
     }
+
+
+# --------------------------------------------------------------------------- #
+# Retrain-recovery (lifecycle drift preset)
+# --------------------------------------------------------------------------- #
+class TestRetrainRecoveryScenario:
+    def test_phase_structure(self, generator):
+        stream = retrain_recovery_scenario(generator)
+        names = [phase.name for phase in stream.phases]
+        assert names == [
+            "baseline", "drift-onset", "degraded-hold", "recovery-window",
+        ]
+
+    def test_drift_threads_through_the_held_segments(self, generator):
+        stream = retrain_recovery_scenario(generator, drift_to=3.5)
+        by_name = {phase.name: phase for phase in stream.phases}
+        assert by_name["baseline"].drift_scale == 0.0
+        assert by_name["drift-onset"].drift_start == 0.0
+        assert by_name["drift-onset"].drift_scale == pytest.approx(3.5)
+        # The shift holds — it does not undo itself after the ramp.
+        for held in ("degraded-hold", "recovery-window"):
+            assert by_name[held].drift_start == pytest.approx(3.5)
+            assert by_name[held].drift_scale == 0.0
+
+    def test_drift_is_aimed_along_the_evasion_direction(self, generator):
+        stream = retrain_recovery_scenario(generator, seed=3)
+        direction = generator.evasion_direction("dos")
+        np.testing.assert_array_equal(stream.drift_direction, direction)
+
+    def test_class_mix_never_changes(self, generator):
+        stream = retrain_recovery_scenario(
+            generator, baseline_batches=2, onset_batches=2,
+            degraded_batches=2, recovery_batches=2, attack_fraction=0.3,
+        )
+        for batch in stream:
+            assert batch.mix["dos"] == pytest.approx(0.3)
+
+    def test_deterministic_and_reiterable(self, generator):
+        stream = retrain_recovery_scenario(generator, seed=9)
+        assert_streams_identical(stream, stream)
+        assert_streams_identical(
+            stream, retrain_recovery_scenario(generator, seed=9)
+        )
+
+    def test_validation(self, generator):
+        with pytest.raises(ValueError, match="attack_fraction"):
+            retrain_recovery_scenario(generator, attack_fraction=1.5)
+        with pytest.raises(ValueError, match="drift_to"):
+            retrain_recovery_scenario(generator, drift_to=0.0)
+
+
+# --------------------------------------------------------------------------- #
+# Evasion direction / aimed stream drift
+# --------------------------------------------------------------------------- #
+class TestEvasionDirection:
+    def test_shape_norm_and_lognormal_zeroing(self, generator):
+        direction = generator.evasion_direction()
+        n_numeric = len(generator.schema.numeric_features)
+        assert direction.shape == (n_numeric,)
+        np.testing.assert_allclose(
+            np.linalg.norm(direction), np.sqrt(n_numeric)
+        )
+        assert np.all(direction[generator._lognormal_mask] == 0.0)
+
+    def test_unknown_attack_class_rejected(self, generator):
+        with pytest.raises(ValueError, match="unknown attack class"):
+            generator.evasion_direction("not-a-class")
+
+    def test_explicit_direction_only_changes_the_offset(self, generator):
+        """An aimed stream samples the identical records; only the drift
+        offset differs, by exactly (offset x direction)."""
+        phases = [StreamPhase("drifting", 3, {"normal": 0.7, "dos": 0.3},
+                              drift_scale=2.0)]
+        direction = generator.evasion_direction()
+        default = TrafficStream(generator, phases, batch_size=32, seed=4)
+        aimed = TrafficStream(
+            generator, phases, batch_size=32, seed=4,
+            drift_direction=direction,
+        )
+        random_direction = np.random.default_rng(4).normal(
+            0.0, 1.0, size=len(direction)
+        )
+        random_direction /= max(
+            np.linalg.norm(random_direction) / np.sqrt(len(direction)), 1e-12
+        )
+        for plain, shifted in zip(default, aimed):
+            np.testing.assert_array_equal(
+                plain.records.labels, shifted.records.labels
+            )
+            progress = plain.phase_index / 2  # 3 batches: progress 0, .5, 1
+            offset = 2.0 * progress
+            # Undo each stream's own offset: the underlying samples must be
+            # identical, and each drifted batch must sit at exactly
+            # (offset x its direction) from them.
+            plain_base = plain.records.numeric - offset * random_direction
+            shifted_base = shifted.records.numeric - offset * direction
+            np.testing.assert_allclose(shifted_base, plain_base, atol=1e-9)
+
+    def test_direction_shape_is_validated(self, generator):
+        with pytest.raises(ValueError, match="drift_direction"):
+            TrafficStream(
+                generator,
+                [StreamPhase("p", 1, {"normal": 1.0})],
+                drift_direction=np.ones(3),
+            )

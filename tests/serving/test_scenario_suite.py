@@ -1,9 +1,24 @@
-"""Tests for the ScenarioSuite cross-model sweep."""
+"""Tests for the ScenarioSuite cross-model sweep.
+
+Includes the tier-1 cross-model smoke: *every* preset in the library, at
+tiny segment lengths, served synchronously and through a worker pool with
+bit-equal confusion counts — so the serving tier's ordering guarantee is
+checked on every ``pytest`` run, not only in the benchmark harness.
+"""
 
 import pytest
 
-from repro.scenarios import ScenarioSuite, flood_scenario, slow_dos_scenario
+from repro.scenarios import (
+    ScenarioSuite,
+    flood_scenario,
+    imbalance_shift_scenario,
+    probe_sweep_scenario,
+    retrain_recovery_scenario,
+    slow_dos_scenario,
+)
 from repro.scenarios.suite import FLEET_MODELS, SINGLE_STREAM_MODELS
+from repro.data import nslkdd_generator
+from repro.serving import DetectionService, DriftPolicy, WorkerPool
 
 
 def trimmed_flood(generator, batch_size=64, seed=0):
@@ -34,6 +49,17 @@ def results(fleet_detectors):
         fleet_detectors, batch_size=32, seed=0, scenarios=TRIMMED,
     )
     return suite.run()
+
+
+@pytest.fixture(scope="module")
+def challenger_stub(detector):
+    """A free 'retrainer': hands back the already fitted detector, so
+    lifecycle plumbing tests never pay for a real training run."""
+
+    def trainer(records, serving):
+        return detector
+
+    return trainer
 
 
 class TestScenarioSuite:
@@ -91,8 +117,131 @@ class TestScenarioSuite:
         with pytest.raises(ValueError, match="at least one"):
             ScenarioSuite({})
 
+
     def test_default_registry_covers_the_whole_library(self, detector):
         suite = ScenarioSuite({"nsl-kdd": detector})
         assert set(suite.scenarios) == {
             "flood", "probe-sweep", "imbalance-shift", "slow-dos",
+            "retrain-recovery",
         }
+
+    def test_lifecycle_entry_records_recovery(self, detector, challenger_stub):
+        """The suite's lifecycle run produces the retrain-recovery baseline
+        row: events, DR/FAR curves and recovery time."""
+        suite = ScenarioSuite(
+            {"nsl-kdd": detector}, batch_size=32, seed=0,
+            scenarios={}, include_fleet=False,
+            include_lifecycle=True,
+            lifecycle_policy=DriftPolicy(
+                dr_floor=0.80, far_ceiling=0.20, min_records=64,
+            ),
+            lifecycle_trainer=challenger_stub,
+            lifecycle_scenario=lambda g, batch_size=32, seed=0: (
+                retrain_recovery_scenario(
+                    g, batch_size=batch_size, seed=seed,
+                    baseline_batches=2, onset_batches=3,
+                    degraded_batches=4, recovery_batches=2,
+                )
+            ),
+        )
+        results = suite.run()
+        entry = results["lifecycle"]
+        assert entry["scenario"] == "retrain-recovery"
+        assert entry["triggered"] and entry["promoted"]
+        assert entry["recovery_batches"] is not None
+        assert len(entry["dr_curve"]) == entry["total_batches"]
+        assert len(entry["far_curve"]) == entry["total_batches"]
+        assert entry["report"]["records"] == entry["total_records"]
+        kinds = [event["kind"] for event in entry["events"]]
+        assert kinds[:3] == ["drift-detected", "retrain-complete", "promoted"]
+
+    def test_lifecycle_is_off_by_default(self, results):
+        assert "lifecycle" not in results
+
+
+# ---------------------------------------------------------------------- #
+# Tier-1 cross-model smoke: every preset, sync vs worker-pool, bit-equal
+# ---------------------------------------------------------------------- #
+def tiny_flood(generator, batch_size=16, seed=0):
+    return flood_scenario(
+        generator, batch_size=batch_size, seed=seed,
+        baseline_batches=2, burst_batches=1, drift_batches=2,
+    )
+
+
+def tiny_probe_sweep(generator, batch_size=16, seed=0):
+    return probe_sweep_scenario(
+        generator, batch_size=batch_size, seed=seed,
+        baseline_batches=1, sweep_batches=2, scan_batches=1,
+    )
+
+
+def tiny_imbalance_shift(generator, batch_size=16, seed=0):
+    return imbalance_shift_scenario(
+        generator, batch_size=batch_size, seed=seed,
+        steady_batches=2, flip_batches=1,
+    )
+
+
+def tiny_slow_dos(generator, batch_size=16, seed=0):
+    return slow_dos_scenario(
+        generator, batch_size=batch_size, seed=seed,
+        baseline_batches=1, creep_batches=1, hold_batches=3, spike_batches=2,
+    )
+
+
+def tiny_retrain_recovery(generator, batch_size=16, seed=0):
+    return retrain_recovery_scenario(
+        generator, batch_size=batch_size, seed=seed,
+        baseline_batches=1, onset_batches=2, degraded_batches=2,
+        recovery_batches=1,
+    )
+
+
+TINY_PRESETS = {
+    "flood": tiny_flood,
+    "probe-sweep": tiny_probe_sweep,
+    "imbalance-shift": tiny_imbalance_shift,
+    "slow-dos": tiny_slow_dos,
+    "retrain-recovery": tiny_retrain_recovery,
+}
+
+
+class TestEveryPresetCrossModelSmoke:
+    """Scaled-down cross-model agreement, in tier-1 on every pytest run.
+
+    Every preset in the library runs synchronously and through a worker
+    pool; the confusion counts must match bit for bit (the worker pool's
+    in-order-commit guarantee).  Segment lengths are tiny so the whole
+    sweep costs well under a second of scoring.
+    """
+
+    @pytest.mark.timeout(120)
+    @pytest.mark.parametrize("name", sorted(TINY_PRESETS))
+    def test_sync_and_worker_pool_agree_bit_for_bit(self, detector, name):
+        stream = TINY_PRESETS[name](nslkdd_generator(), batch_size=16, seed=0)
+
+        def service():
+            return DetectionService(
+                detector, max_batch_size=16, flush_interval=0.0,
+                window=1 << 20,
+            )
+
+        sync_report = service().run_stream(stream)
+        pool_report = WorkerPool(service(), num_workers=2).run_stream(stream)
+
+        def counts(report):
+            rolling = report.rolling
+            return (rolling.tp, rolling.tn, rolling.fp, rolling.fn)
+
+        assert counts(sync_report) == counts(pool_report)
+        assert sync_report.records == pool_report.records == stream.total_records
+        assert set(sync_report.phase_reports) == set(pool_report.phase_reports)
+        for phase, sync_phase in sync_report.phase_reports.items():
+            pool_phase = pool_report.phase_reports[phase]
+            assert (sync_phase.tp, sync_phase.tn, sync_phase.fp, sync_phase.fn) == (
+                pool_phase.tp, pool_phase.tn, pool_phase.fp, pool_phase.fn
+            ), f"{name}/{phase}: per-phase counts diverge"
+
+    def test_tiny_registry_mirrors_the_default_registry(self, detector):
+        assert set(TINY_PRESETS) == set(ScenarioSuite({"nsl-kdd": detector}).scenarios)

@@ -1,0 +1,199 @@
+"""Seeded fuzz test for the :class:`WorkerPool` reorder buffer.
+
+A stub detector with *randomised per-batch scoring delays* maximises
+commit-order chaos on the thread pool: batches finish in arbitrary order,
+so any hole in the reorder buffer's in-order-commit guarantee shows up as
+out-of-order results, torn monitor updates or dropped/duplicated records.
+
+Per random schedule the test asserts, against a synchronous run of the
+identical submissions:
+
+* committed results arrive in **submission order** (batch size sequence and
+  per-record prediction sequence are identical);
+* the :class:`ServiceReport` is **record-for-record equal**: same record
+  and batch totals, same rolling confusion counts.
+
+~200 seeded schedules run in a few seconds because the stub never touches
+a real network: predictions are a cheap deterministic per-record function,
+so batch grouping and thread interleaving cannot change them.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.data import load_nslkdd
+from repro.preprocessing.pipeline import IDSPreprocessor
+from repro.serving import DetectionService, WorkerPool
+
+pytestmark = pytest.mark.timeout(120)
+
+N_SCHEDULES = 200
+N_WORKERS = 4
+MAX_DELAY = 0.002  # seconds; enough to shuffle commit order thoroughly
+
+
+class _StubNetwork:
+    """Deterministic per-record scorer with injectable per-batch delays.
+
+    The predicted class is a hash of each record's feature sum — stable
+    under any batch grouping or thread interleaving — so sync and
+    concurrent runs must agree record for record.
+    """
+
+    def __init__(self, num_classes, delays=None):
+        self.num_classes = num_classes
+        self._delays = list(delays) if delays is not None else []
+        self._lock = threading.Lock()
+
+    def predict(self, inputs, batch_size=None, fast=False):
+        with self._lock:
+            delay = self._delays.pop() if self._delays else 0.0
+        if delay:
+            time.sleep(delay)
+        sums = np.asarray(inputs).reshape(len(inputs), -1).sum(axis=1)
+        classes = np.abs((sums * 1e6).astype(np.int64)) % self.num_classes
+        probabilities = np.zeros((len(inputs), self.num_classes))
+        probabilities[np.arange(len(inputs)), classes] = 1.0
+        return probabilities
+
+
+class _StubDetector:
+    """Just enough of the PelicanDetector surface for DetectionService."""
+
+    def __init__(self, preprocessor, delays=None):
+        self.preprocessor = preprocessor
+        self.schema = preprocessor.schema
+        self.network = _StubNetwork(
+            num_classes=len(preprocessor.label_encoder.classes_), delays=delays
+        )
+
+    @property
+    def is_fitted(self):
+        return True
+
+
+@pytest.fixture(scope="module")
+def fuzz_traffic():
+    return load_nslkdd(n_records=180, seed=17)
+
+
+@pytest.fixture(scope="module")
+def fitted_preprocessor(fuzz_traffic):
+    return IDSPreprocessor(fuzz_traffic.schema).fit(fuzz_traffic)
+
+
+def _submissions(traffic, rng):
+    """Split the traffic into randomly sized submissions (1..50 records)."""
+    cuts, start = [], 0
+    while start < len(traffic):
+        size = int(rng.integers(1, 51))
+        cuts.append(traffic.subset(range(start, min(start + size, len(traffic)))))
+        start += size
+    return cuts
+
+def _run_sync(preprocessor, submissions):
+    service = DetectionService(
+        _StubDetector(preprocessor),
+        max_batch_size=48,
+        flush_interval=1e9,  # only size-triggered drains + the final flush
+        window=1 << 20,
+    )
+    results = []
+    for records in submissions:
+        results.extend(service.submit(records))
+    results.extend(service.flush())
+    return service, results
+
+
+def _run_pool(preprocessor, submissions, delays):
+    service = DetectionService(
+        _StubDetector(preprocessor, delays=delays),
+        max_batch_size=48,
+        flush_interval=1e9,
+        window=1 << 20,
+    )
+    results = []
+    # timer_interval=0: no background age timer — with the huge flush
+    # interval every batch is size-triggered, identically to the sync run.
+    with WorkerPool(service, num_workers=N_WORKERS, timer_interval=0) as pool:
+        for records in submissions:
+            results.extend(pool.submit(records))
+        results.extend(pool.flush())
+    return service, results
+
+
+def _flatten(results, field):
+    return np.concatenate([getattr(r, field) for r in results])
+
+
+def test_reorder_buffer_fuzz(fitted_preprocessor, fuzz_traffic):
+    """~200 random delay schedules: in-order commits, reports equal sync."""
+    failures = []
+    for schedule in range(N_SCHEDULES):
+        rng = np.random.default_rng(schedule)
+        submissions = _submissions(fuzz_traffic, rng)
+        n_batches_upper = len(fuzz_traffic)  # one delay per possible batch
+        delays = rng.uniform(0.0, MAX_DELAY, size=n_batches_upper).tolist()
+
+        sync_service, sync_results = _run_sync(fitted_preprocessor, submissions)
+        pool_service, pool_results = _run_pool(
+            fitted_preprocessor, submissions, delays
+        )
+
+        sync_sizes = [r.size for r in sync_results]
+        pool_sizes = [r.size for r in pool_results]
+        if sync_sizes != pool_sizes:
+            failures.append(f"schedule {schedule}: batch split {pool_sizes} "
+                            f"!= sync {sync_sizes}")
+            continue
+        if not np.array_equal(
+            _flatten(sync_results, "class_indices"),
+            _flatten(pool_results, "class_indices"),
+        ):
+            failures.append(f"schedule {schedule}: predictions out of order")
+            continue
+        if not np.array_equal(
+            _flatten(sync_results, "true_indices"),
+            _flatten(pool_results, "true_indices"),
+        ):
+            failures.append(f"schedule {schedule}: labels out of order")
+            continue
+
+        sync_report = sync_service.report()
+        pool_report = pool_service.report()
+        if (sync_report.records, sync_report.batches) != (
+            pool_report.records, pool_report.batches
+        ):
+            failures.append(
+                f"schedule {schedule}: totals {pool_report.records}/"
+                f"{pool_report.batches} != {sync_report.records}/"
+                f"{sync_report.batches}"
+            )
+            continue
+        sync_rolling, pool_rolling = sync_report.rolling, pool_report.rolling
+        if (sync_rolling.tp, sync_rolling.tn, sync_rolling.fp, sync_rolling.fn) != (
+            pool_rolling.tp, pool_rolling.tn, pool_rolling.fp, pool_rolling.fn
+        ):
+            failures.append(f"schedule {schedule}: confusion counts differ")
+
+    assert not failures, "\n".join(failures[:10])
+
+
+def test_stub_predictions_are_grouping_invariant(fitted_preprocessor, fuzz_traffic):
+    """Sanity check of the fuzz harness itself: the stub's predictions do
+    not depend on how records are batched."""
+    service = DetectionService(
+        _StubDetector(fitted_preprocessor), max_batch_size=48,
+        flush_interval=0.0, window=1 << 20,
+    )
+    whole = service.score(fuzz_traffic)
+    halves = [
+        service.score(fuzz_traffic.subset(range(0, 90))),
+        service.score(fuzz_traffic.subset(range(90, len(fuzz_traffic)))),
+    ]
+    assert np.array_equal(
+        whole.class_indices, np.concatenate([h.class_indices for h in halves])
+    )
