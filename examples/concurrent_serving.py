@@ -2,7 +2,7 @@
 """Concurrent sharded serving: worker pools and multi-detector routing.
 
 Builds on ``examples/streaming_detection.py`` — same fitted detector, same
-seeded scenarios — and shows the two concurrent execution models of
+seeded scenarios — and shows the three concurrent execution models of
 :mod:`repro.serving`:
 
 1. **Worker pool** — the flood scenario scored on a 4-thread
@@ -10,7 +10,12 @@ seeded scenarios — and shows the two concurrent execution models of
    the age trigger fires on a background timer, yet the quality report is
    record-for-record identical to a synchronous run (results commit in
    submission order).
-2. **Sharded fleet** — the probe-sweep scenario routed across two detector
+2. **Process pool** — the same flood scenario on a 2-process
+   :class:`repro.serving.ProcessWorkerPool`: each child rehydrates a
+   scoring-identical detector from a checkpoint and scores off the GIL, so
+   the pool scales with real cores — and the report still matches the
+   worker-pool (and synchronous) run count for count.
+3. **Sharded fleet** — the probe-sweep scenario routed across two detector
    shards with a ``class-family`` :class:`repro.serving.ShardRouter`: a
    "volumetric" shard for normal/DoS traffic and a "stealth" shard for the
    reconnaissance-style families, each shard on its own 2-worker pool.  The
@@ -26,6 +31,7 @@ from repro.core import PelicanDetector
 from repro.data import NSLKDD_SCHEMA, TrafficStream, load_nslkdd, nslkdd_generator
 from repro.serving import (
     DetectionService,
+    ProcessWorkerPool,
     ShardedDetectionService,
     ShardRouter,
     WorkerPool,
@@ -65,7 +71,26 @@ def main() -> None:
     print_phase_table(report)
 
     # ------------------------------------------------------------------ #
-    # 2. Class-family sharding over the probe-sweep scenario.
+    # 2. Process pool over the same flood scenario.
+    # ------------------------------------------------------------------ #
+    print(
+        f"\nserving {flood.total_records} flood-scenario records on "
+        "2 child processes (checkpoint-rehydrated) ..."
+    )
+    process_service = DetectionService(
+        detector, max_batch_size=128, flush_interval=0.02, window=512
+    )
+    process_report = ProcessWorkerPool(process_service, num_workers=2).run_stream(flood)
+    print(process_report)
+    threads = (report.rolling.tp, report.rolling.tn, report.rolling.fp, report.rolling.fn)
+    procs = (
+        process_report.rolling.tp, process_report.rolling.tn,
+        process_report.rolling.fp, process_report.rolling.fn,
+    )
+    print(f"confusion counts match the thread-pool run: {threads == procs}")
+
+    # ------------------------------------------------------------------ #
+    # 3. Class-family sharding over the probe-sweep scenario.
     # ------------------------------------------------------------------ #
     sweep = TrafficStream.probe_sweep_scenario(
         nslkdd_generator(), batch_size=64, seed=11

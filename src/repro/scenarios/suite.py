@@ -7,8 +7,10 @@ throughput rows — the scenario-side counterpart of the serving benchmark's
 
 * single-schema presets (flood, probe-sweep, imbalance-shift, slow-dos)
   run **synchronous** (:class:`~repro.serving.service.DetectionService`),
-  **worker-pool** (:class:`~repro.serving.workers.WorkerPool`) and
-  **sharded** (replica :class:`~repro.serving.sharding.ShardedDetectionService`);
+  **worker-pool** (:class:`~repro.serving.workers.WorkerPool`),
+  **process-pool** (:class:`~repro.serving.procpool.ProcessWorkerPool`,
+  scoring in checkpoint-rehydrated child processes) and **sharded**
+  (replica :class:`~repro.serving.sharding.ShardedDetectionService`);
 * the cross-dataset **fleet** preset runs on a dataset-routed sharded
   service — inline and with per-shard worker pools — since a single
   service cannot preprocess two schemas.
@@ -28,6 +30,7 @@ from ..core.detector import PelicanDetector
 from ..data.nslkdd import nslkdd_generator
 from ..data.unswnb15 import unswnb15_generator
 from ..serving.lifecycle import DriftPolicy, DriftSupervisor
+from ..serving.procpool import ProcessWorkerPool
 from ..serving.service import DetectionService, ServiceReport
 from ..serving.sharding import ShardedDetectionService
 from ..serving.workers import WorkerPool
@@ -46,7 +49,7 @@ _GENERATOR_FACTORIES = {
     "unsw-nb15": unswnb15_generator,
 }
 
-SINGLE_STREAM_MODELS = ("synchronous", "worker-pool", "sharded")
+SINGLE_STREAM_MODELS = ("synchronous", "worker-pool", "process-pool", "sharded")
 FLEET_MODELS = ("sharded", "sharded-workers")
 
 #: Supervisor thresholds for the suite's lifecycle run.  The rolling window
@@ -133,8 +136,9 @@ class ScenarioSuite:
         Rolling-monitor width; the default is wide enough that no suite
         stream overflows it and the reported counts are exact totals.
     num_workers:
-        Worker threads for the worker-pool model (and per shard in the
-        ``sharded-workers`` fleet model).
+        Pool size for the worker-pool (threads) and process-pool (child
+        processes) models, and per shard in the ``sharded-workers`` fleet
+        model.
     replica_shards:
         Shard count for the replica-sharded model.
     scenarios:
@@ -214,6 +218,10 @@ class ScenarioSuite:
             return self._service(detector).run_stream(stream)
         if model == "worker-pool":
             return WorkerPool(
+                self._service(detector), num_workers=self.num_workers
+            ).run_stream(stream)
+        if model == "process-pool":
+            return ProcessWorkerPool(
                 self._service(detector), num_workers=self.num_workers
             ).run_stream(stream)
         if model == "sharded":

@@ -16,7 +16,7 @@ from three independently testable pieces:
   plus a records-per-second headline computed over the wall-clock busy
   span, so overlapping concurrent batches are not double-counted.
 
-Three execution models run on that path:
+Four execution models run on that path:
 
 * **Synchronous** — :class:`DetectionService` alone.  ``submit``/``poll``/
   ``flush`` score on the calling thread; the age trigger fires on the next
@@ -29,14 +29,22 @@ Three execution models run on that path:
   attribution strictly in submission order, so every report is
   record-for-record identical to the synchronous run — only the wall-clock
   numbers change.
+* **Process pool** — :class:`ProcessWorkerPool`
+  (:mod:`repro.serving.procpool`), the same surface with scoring moved
+  into child processes: each child rehydrates a scoring-identical detector
+  from a :class:`DetectorCheckpoint` and runs preprocessing + inference
+  off the GIL, while the parent keeps every monitor and commits through
+  the same reorder buffer — multi-core scaling with reports still
+  record-for-record equal to the synchronous run.
 * **Sharded** — :class:`ShardRouter` + :class:`ShardedDetectionService`
   (:mod:`repro.serving.sharding`) fan one stream out across several fitted
   detectors (replicas, one per dataset, or one per class family) and merge
   the per-shard rolling/per-phase/throughput reports into one
   :class:`ServiceReport`.  Records are partitioned, never duplicated;
-  within a shard the chosen execution model's ordering guarantee applies,
-  and with replica routing the merged confusion counts equal the
-  single-service run on the same stream.
+  within a shard the chosen execution model's ordering guarantee applies
+  (``run_stream(..., num_workers=N, worker_backend="thread"|"process")``
+  picks the per-shard pool backend), and with replica routing the merged
+  confusion counts equal the single-service run on the same stream.
 
 The model lifecycle lives in :mod:`repro.serving.lifecycle`:
 :class:`DetectorCheckpoint` (single-archive save/load reconstructing a
@@ -52,7 +60,7 @@ floods, low-and-slow probes, slow-rate DoS, class-imbalance shifts and the
 cross-dataset fleet feed.  ``examples/streaming_detection.py``,
 ``examples/concurrent_serving.py`` and ``examples/cross_dataset_fleet.py``
 show the end-to-end wiring, and ``repro.scenarios.ScenarioSuite`` sweeps
-every preset across the three execution models.
+every preset across the four execution models.
 """
 
 from .batching import MicroBatcher
@@ -77,6 +85,7 @@ from .lifecycle import (
     ShadowDeployment,
     ShadowReport,
 )
+from .procpool import ProcessWorkerPool
 
 __all__ = [
     "MicroBatcher",
@@ -88,6 +97,7 @@ __all__ = [
     "BatchResult",
     "ServiceReport",
     "WorkerPool",
+    "ProcessWorkerPool",
     "ShardRouter",
     "ShardedDetectionService",
     "DetectorCheckpoint",

@@ -27,7 +27,8 @@ lock of their own.
 from __future__ import annotations
 
 import time
-from typing import Callable, List, Optional, Tuple
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
 
 from ..data.dataset import TrafficRecords
 
@@ -64,7 +65,9 @@ class MicroBatcher:
         self.flush_interval = float(flush_interval)
         self.clock = clock
         # FIFO of (arrival time, records); split tails keep their stamp.
-        self._pending: List[Tuple[float, TrafficRecords]] = []
+        # A deque: every size-triggered drain pops from the left, where
+        # list.pop(0) would shift the whole queue on each release.
+        self._pending: Deque[Tuple[float, TrafficRecords]] = deque()
         self._pending_count = 0
 
     # ------------------------------------------------------------------ #
@@ -87,7 +90,7 @@ class MicroBatcher:
             if len(part) <= remaining:
                 taken.append(part)
                 remaining -= len(part)
-                self._pending.pop(0)
+                self._pending.popleft()
             else:
                 taken.append(part.subset(range(remaining)))
                 # The tail keeps its original arrival stamp: a size-triggered

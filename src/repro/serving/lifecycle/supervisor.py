@@ -26,10 +26,12 @@ only *report* it.  :class:`DriftSupervisor` closes the loop:
    confusion counts are bitwise-equal to a drain-stop-restart deployment
    of the same two models at the same boundary.
 
-The supervisor drives any of the three execution models through a small
+The supervisor drives any of the four execution models through a small
 adapter: a synchronous :class:`~repro.serving.service.DetectionService`, a
-:class:`~repro.serving.workers.WorkerPool` (results commit in submission
-order, so attribution is unchanged) or a
+:class:`~repro.serving.workers.WorkerPool` or
+:class:`~repro.serving.procpool.ProcessWorkerPool` (results commit in
+submission order, so attribution is unchanged; a process pool's swap also
+re-ships the challenger's checkpoint to its children) or a
 :class:`~repro.serving.sharding.ShardedDetectionService` (per-shard
 attribution mirrors its own ``run_stream``; a swap replaces every shard's
 engine — replica fleets share one detector, so one challenger serves all).
@@ -44,8 +46,9 @@ rolling-DR curve and recovery-time accessors — the numbers
 from __future__ import annotations
 
 import threading
+from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Deque, Dict, List, Optional, Union
 
 from ...core.detector import PelicanDetector
 from ...data.dataset import TrafficRecords
@@ -171,7 +174,9 @@ class ReplayBuffer:
         if max_records <= 0:
             raise ValueError("max_records must be positive")
         self.max_records = int(max_records)
-        self._batches: List[TrafficRecords] = []
+        # Deque, not list: oldest-first eviction is a popleft on the hot
+        # append path, where list.pop(0) would shift every element.
+        self._batches: Deque[TrafficRecords] = deque()
         self._records = 0
 
     def __len__(self) -> int:
@@ -183,7 +188,7 @@ class ReplayBuffer:
         self._batches.append(records)
         self._records += len(records)
         while self._records > self.max_records and len(self._batches) > 1:
-            evicted = self._batches.pop(0)
+            evicted = self._batches.popleft()
             self._records -= len(evicted)
 
     def snapshot(self) -> TrafficRecords:
@@ -360,6 +365,11 @@ class _PoolAdapter(_ServiceAdapter):
         if self._owns_lifecycle:
             self.pool.close()
             self._owns_lifecycle = False
+
+    def swap(self, challenger: PelicanDetector) -> None:
+        # Through the pool, not the bare service: a ProcessWorkerPool must
+        # also re-ship the challenger's checkpoint to its child processes.
+        self.pool.swap_detector(challenger)
 
 
 class _ShardedAdapter:

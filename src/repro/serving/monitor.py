@@ -23,7 +23,14 @@ Throughput accounting distinguishes three time totals:
   concurrent workers score simultaneously, and — unlike a first-to-last
   span — free of the idle gaps between batches, so a long-lived service
   with sporadic traffic is not diluted towards records-per-uptime.
-  ``records / busy_time`` is the records-per-second headline.
+  ``records / busy_time`` is the records-per-second headline.  The union
+  is maintained as a small bounded set of pending disjoint intervals, so
+  batches may commit in any order (parallel workers reorder freely): a
+  late-committing interval still contributes exactly its uncovered
+  portion.  Only when more than the bounded number of disjoint intervals
+  are simultaneously pending does the oldest get frozen, after which a
+  batch committing entirely before it is dropped — an undercount, never a
+  double count, and ``busy_time <= busy_span`` always holds.
 * ``busy_span`` — the wall-clock distance from the start of the earliest
   batch to the end of the latest one (busy and idle alike), kept for
   wall-time introspection.
@@ -34,7 +41,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Callable, Deque, Dict, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -91,12 +98,22 @@ class RollingDetectionMonitor:
             self._seen += len(true_classes)
 
     def report(self) -> Optional[DetectionReport]:
-        """ACC/DR/FAR over the window, or None before any traffic arrived."""
+        """ACC/DR/FAR over the window, or None before any traffic arrived.
+
+        The deques are copied into preallocated arrays (``count=`` spares
+        :func:`np.fromiter` its incremental regrowth) under the lock; the
+        evaluation runs on the copies after the lock is released, so a slow
+        report never stalls concurrent workers mid-update.
+        """
         with self._lock:
             if not self._true:
                 return None
-            true_window = np.fromiter(self._true, dtype=np.int64)
-            predicted_window = np.fromiter(self._predicted, dtype=np.int64)
+            true_window = np.fromiter(
+                self._true, dtype=np.int64, count=len(self._true)
+            )
+            predicted_window = np.fromiter(
+                self._predicted, dtype=np.int64, count=len(self._predicted)
+            )
         return evaluate_detection(true_window, predicted_window, self.normal_index)
 
 
@@ -118,6 +135,12 @@ class ThroughputMonitor:
         per-batch latencies live on one timeline.
     """
 
+    #: Maximum number of pending disjoint intervals the busy-time merge
+    #: keeps before freezing the oldest.  Out-of-order commits only pile up
+    #: disjoint holes while more batches than this are simultaneously in
+    #: flight and reordered — far beyond any real worker pool.
+    MAX_PENDING_INTERVALS = 64
+
     def __init__(
         self, window: int = 1024, clock: Callable[[], float] = time.monotonic
     ) -> None:
@@ -131,8 +154,13 @@ class ThroughputMonitor:
         self._total_records = 0
         self._total_time = 0.0
         self._busy_time = 0.0
-        # High-water mark of batch end times for the overlap merge.
-        self._covered_until: Optional[float] = None
+        # The busy-time union: a bounded, sorted list of pending disjoint
+        # [start, end] intervals whose lengths are already in _busy_time,
+        # plus a frozen floor — everything at or before it is treated as
+        # covered, so a straggler clipped by the floor can undercount but
+        # never double count.
+        self._pending_intervals: List[List[float]] = []
+        self._covered_floor: Optional[float] = None
         self._span_start: Optional[float] = None
         self._span_end: Optional[float] = None
 
@@ -143,8 +171,10 @@ class ThroughputMonitor:
 
         ``end_time`` is the clock reading when the batch finished; it
         defaults to "now" but concurrent callers that commit results after
-        the fact (the worker pool's reorder buffer) pass the measured value
-        so the busy span reflects when the work actually ran.
+        the fact (the worker pools' reorder buffers) pass the measured value
+        so the busy span reflects when the work actually ran.  Commits may
+        arrive in any order: each interval contributes exactly the portion
+        of ``[end - latency, end]`` not already covered by earlier updates.
         """
         if batch_size < 0 or latency < 0:
             raise ValueError("batch_size and latency must be non-negative")
@@ -155,19 +185,46 @@ class ThroughputMonitor:
             self._total_records += int(batch_size)
             self._total_time += float(latency)
             self._recent_latencies.append(float(latency))
-            # Merge [start, end] into the covered busy time.  Batches arrive
-            # (commit) in near-end-time order, so clipping against the
-            # high-water mark computes the interval union; a straggler fully
-            # behind the mark contributes nothing — an undercount, never a
-            # double count.
-            covered = self._covered_until
-            if covered is None or end > covered:
-                self._busy_time += end - (start if covered is None else max(start, covered))
-                self._covered_until = end
+            self._merge_busy_interval(start, end)
             if self._span_start is None or start < self._span_start:
                 self._span_start = start
             if self._span_end is None or end > self._span_end:
                 self._span_end = end
+
+    def _merge_busy_interval(self, start: float, end: float) -> None:
+        """Fold ``[start, end]`` into the pending-interval union (locked).
+
+        The uncovered portion — the interval's length minus its overlap
+        with the pending intervals, clipped at the frozen floor — is added
+        to ``_busy_time``; overlapping pending intervals coalesce into one.
+        Both the disjointness of the pending set and the clip at the floor
+        make double-counting impossible, and every counted sliver lies
+        inside ``[span_start, span_end]``, so ``busy_time <= busy_span``.
+        """
+        if self._covered_floor is not None:
+            start = max(start, self._covered_floor)
+            end = max(end, self._covered_floor)
+        merged_start, merged_end = start, end
+        overlap = 0.0
+        kept: List[List[float]] = []
+        insert_at = 0
+        for interval in self._pending_intervals:
+            if interval[1] < start:
+                kept.append(interval)
+                insert_at = len(kept)
+            elif interval[0] > end:
+                kept.append(interval)
+            else:
+                overlap += min(interval[1], end) - max(interval[0], start)
+                merged_start = min(merged_start, interval[0])
+                merged_end = max(merged_end, interval[1])
+        self._busy_time += (end - start) - overlap
+        kept.insert(insert_at, [merged_start, merged_end])
+        self._pending_intervals = kept
+        while len(self._pending_intervals) > self.MAX_PENDING_INTERVALS:
+            frozen = self._pending_intervals.pop(0)
+            if self._covered_floor is None or frozen[1] > self._covered_floor:
+                self._covered_floor = frozen[1]
 
     @property
     def total_batches(self) -> int:
@@ -199,15 +256,22 @@ class ThroughputMonitor:
             return self._total_records / self._total_time
         return 0.0
 
+    def _latency_window_locked(self) -> np.ndarray:
+        return np.fromiter(
+            self._recent_latencies,
+            dtype=np.float64,
+            count=len(self._recent_latencies),
+        )
+
     def _mean_latency_locked(self) -> float:
         if not self._recent_latencies:
             return 0.0
-        return float(np.mean(self._recent_latencies))
+        return float(np.mean(self._latency_window_locked()))
 
     def _p95_latency_locked(self) -> float:
         if not self._recent_latencies:
             return 0.0
-        return float(np.percentile(self._recent_latencies, 95))
+        return float(np.percentile(self._latency_window_locked(), 95))
 
     @property
     def busy_span(self) -> float:

@@ -1,0 +1,579 @@
+"""Process-parallel scoring for the detection service.
+
+:class:`ProcessWorkerPool` is the fourth execution model: the same
+submit/poll/flush/report surface as the thread-based
+:class:`~repro.serving.workers.WorkerPool`, with scoring moved into **child
+processes** so the Python-level preprocessing — which holds the GIL and
+caps the thread pool at single-core throughput — runs on real cores.
+
+Division of labour:
+
+* each **child process** rehydrates a scoring-identical detector from a
+  :class:`~repro.serving.lifecycle.DetectorCheckpoint` at startup (weights,
+  buffers, preprocessor vocabularies and scaler — the restored
+  ``predict(fast=True)`` is bitwise-equal to the parent's), then loops:
+  micro-batches arrive as **raw arrays** (numeric matrix, categorical
+  columns, labels), are preprocessed and scored in the child, and the
+  predicted class indices travel back with the measured scoring latency and
+  the batch's unknown-categorical tallies;
+* the **parent** keeps every piece of mutable serving state — the
+  micro-batcher, the rolling/throughput monitors, phase attribution, the
+  vocabulary-drift counters (child tallies are folded back in) — and
+  commits results through the :class:`WorkerPool` reorder buffer, strictly
+  in submission order.
+
+Because the child's detector is scoring-identical and all accounting stays
+in the parent on the in-order commit path, every :class:`ServiceReport`
+produced through a process pool is record-for-record identical to the
+synchronous run — the guarantee the scenario suite and the tier-1 smoke
+assert bit for bit.
+
+Hot-swap: :meth:`ProcessWorkerPool.swap_detector` drains the in-flight
+batches, swaps the parent engine, then re-ships the challenger's checkpoint
+to every child and waits for their acknowledgements.  Per-child task queues
+are FIFO, so any batch dispatched after the swap is scored by the new model
+— the same batch-boundary semantics as the in-process swap, which is what
+keeps a drift-supervised run's counts equal to a drain-stop-restart run.
+
+Start method: ``"spawn"`` by default — fork would duplicate the parent's
+running threads (age timers, other pools, test watchdogs) into the child
+mid-lock.  Spawned children re-import :mod:`repro`, so pool startup costs a
+couple of seconds; amortise it by keeping one pool alive across streams.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import threading
+import time
+import traceback
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..data.dataset import TrafficRecords
+from ..data.schema import get_schema
+from .lifecycle.checkpoint import DetectorCheckpoint
+from .service import BatchResult, CachedPreprocessor, DetectionService
+from .workers import WorkerPool
+
+__all__ = ["ProcessWorkerPool"]
+
+#: Collector poll period: how often child liveness is re-checked while the
+#: result queue is quiet.
+_POLL_INTERVAL = 0.1
+
+
+def _worker_main(worker_id, schema_name, fast, task_queue, result_queue):
+    """Child-process scoring loop (module-level: spawn pickles it by name).
+
+    The ``Process`` arguments stay deliberately tiny: spawn writes them to
+    the child over a pipe from a *blocking* ``os.write`` in the parent, so
+    a megabytes-large checkpoint there can wedge ``start()`` forever if the
+    child dies before draining the pipe.  The checkpoint instead arrives as
+    the first task-queue message (queue puts run on a daemon feeder thread
+    and never block the caller).
+
+    Messages on ``task_queue`` (FIFO per child):
+
+    * ``("init", checkpoint)`` — rehydrate the serving detector (always the
+      first message); a failure replies
+      ``("init-error", worker_id, traceback_text)`` and exits the child;
+    * ``("score", sequence, numeric, categorical, labels)`` — rebuild the
+      records, preprocess + predict, reply
+      ``("scored", sequence, class_indices, latency, unknown_delta)``;
+    * ``("swap", checkpoint)`` — rehydrate the replacement detector, reply
+      ``("swapped", worker_id, error_text_or_None)``;
+    * ``("stop",)`` — exit the loop.
+
+    Scoring errors reply ``("error", sequence, traceback_text)`` and keep
+    the loop alive; the parent skips the batch and surfaces the error on
+    the next join/flush/close.
+    """
+    schema = get_schema(schema_name)
+    detector = None
+    pipeline = None
+    unknown_seen: Dict[str, int] = {}
+    while True:
+        message = task_queue.get()
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind in ("init", "swap"):
+            try:
+                detector = message[1].restore()
+                pipeline = CachedPreprocessor(detector.preprocessor)
+                unknown_seen = {}
+                if kind == "swap":
+                    result_queue.put(("swapped", worker_id, None))
+            except BaseException:
+                # A failed rehydration is fatal either way: limping on with
+                # the *retired* detector would silently skew the counts, so
+                # the child reports and exits — the parent's liveness check
+                # then excludes it from dispatch.
+                if kind == "swap":
+                    result_queue.put(("swapped", worker_id, traceback.format_exc()))
+                else:
+                    result_queue.put(("init-error", worker_id, traceback.format_exc()))
+                raise SystemExit(1)
+            continue
+        sequence = message[1]
+        try:
+            records = TrafficRecords(
+                schema=schema,
+                numeric=message[2],
+                categorical=message[3],
+                labels=message[4],
+            )
+            started = time.perf_counter()
+            inputs = pipeline.transform_inputs(records)
+            probabilities = detector.network.predict(
+                inputs, batch_size=max(len(records), 1), fast=fast
+            )
+            predicted = np.argmax(probabilities, axis=-1)
+            latency = time.perf_counter() - started
+            unknown_now = pipeline.unknown_categoricals
+            unknown_delta = {
+                column: count - unknown_seen.get(column, 0)
+                for column, count in unknown_now.items()
+                if count != unknown_seen.get(column, 0)
+            }
+            unknown_seen = unknown_now
+            result_queue.put(("scored", sequence, predicted, latency, unknown_delta))
+        except BaseException:
+            result_queue.put(("error", sequence, traceback.format_exc()))
+
+
+class ProcessWorkerPool(WorkerPool):
+    """Concurrent scoring mode backed by child processes.
+
+    Drop-in for :class:`WorkerPool`::
+
+        with ProcessWorkerPool(service, num_workers=4) as pool:
+            report = pool.run_stream(stream)
+
+    Parameters
+    ----------
+    service:
+        The wrapped synchronous service; its batcher and monitors stay in
+        the parent and are the only copy of the serving state.
+    num_workers:
+        Number of child scoring processes.  Default 2 — spawning a child
+        costs a fresh interpreter plus a :mod:`repro` import, so size the
+        pool to the cores you have, not higher.
+    timer_interval:
+        Background age-trigger period (see :class:`WorkerPool`).
+    result_callback:
+        In-order committed-result hook (see :class:`WorkerPool`).
+    start_method:
+        ``multiprocessing`` start method; ``"spawn"`` (default) is safe in
+        threaded parents, ``"fork"``/``"forkserver"`` start faster where the
+        caller knows no thread holds a lock.
+    handshake_timeout:
+        Seconds to wait for child swap acknowledgements (and for stragglers
+        at close) before giving up with an error.
+    """
+
+    def __init__(
+        self,
+        service: DetectionService,
+        num_workers: int = 2,
+        timer_interval: Optional[float] = None,
+        result_callback: Optional[Callable[[BatchResult], None]] = None,
+        start_method: str = "spawn",
+        handshake_timeout: float = 120.0,
+    ) -> None:
+        super().__init__(
+            service,
+            num_workers=num_workers,
+            timer_interval=timer_interval,
+            result_callback=result_callback,
+        )
+        if start_method not in multiprocessing.get_all_start_methods():
+            raise ValueError(
+                f"unknown start method {start_method!r}; this platform "
+                f"supports {multiprocessing.get_all_start_methods()}"
+            )
+        self.start_method = start_method
+        self.handshake_timeout = float(handshake_timeout)
+        self._started = False
+        self._processes: List[multiprocessing.process.BaseProcess] = []
+        self._task_queues: list = []
+        self._result_queues: list = []
+        self._collector: Optional[threading.Thread] = None
+        # Guarded by _commit_cond: (records, assigned worker) awaiting a
+        # child's reply, the worker ids still owing a swap ack, and workers
+        # already diagnosed as dead.
+        self._inflight: Dict[int, Tuple[TrafficRecords, int]] = {}
+        self._swap_awaiting: Set[int] = set()
+        self._swap_failures: List[str] = []
+        self._failed_workers: Dict[int, str] = {}
+        self._stopping = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def running(self) -> bool:
+        return self._started
+
+    def start(self) -> "ProcessWorkerPool":
+        """Spawn the children (each rehydrates the current detector from a
+        checkpoint), start the collector thread and the age timer."""
+        if self._started:
+            return self
+        checkpoint = DetectorCheckpoint.capture(self.service.detector)
+        schema_name = self.service.detector.schema.name
+        context = multiprocessing.get_context(self.start_method)
+        self._shutdown.clear()
+        self._stopping = False
+        self._failed_workers = {}
+        # One task queue AND one result queue per child: no lock is ever
+        # shared between two children, so a child killed mid-write (OOM,
+        # operator SIGKILL) can corrupt only its own queues — the classic
+        # shared-queue deadlock (a victim dying between ``send_bytes`` and
+        # the write-lock release wedges every other writer forever) cannot
+        # reach the survivors.
+        self._result_queues = [context.Queue() for _ in range(self.num_workers)]
+        self._task_queues = [context.Queue() for _ in range(self.num_workers)]
+        self._processes = []
+        for worker_id in range(self.num_workers):
+            process = context.Process(
+                target=_worker_main,
+                args=(
+                    worker_id,
+                    schema_name,
+                    self.service.fast,
+                    self._task_queues[worker_id],
+                    self._result_queues[worker_id],
+                ),
+                name=f"serving-proc-{worker_id}",
+                daemon=True,
+            )
+            process.start()
+            self._processes.append(process)
+            # The checkpoint travels on the task queue, not as a Process
+            # argument — see _worker_main on why large spawn args can hang.
+            self._task_queues[worker_id].put(("init", checkpoint))
+        self._collector = threading.Thread(
+            target=self._collector_loop, name="serving-proc-collector", daemon=True
+        )
+        self._collector.start()
+        self._start_timer()
+        self._started = True
+        return self
+
+    def close(self) -> None:
+        """Drain in-flight batches, stop the children, join everything.
+
+        Per-child queues are FIFO, so the stop sentinel is processed only
+        after every batch already dispatched to that child — close() waits
+        for those results like the thread pool does.  Records still queued
+        below the batch-size trigger stay in the batcher (flush() first).
+        """
+        self._shutdown.set()
+        self._stop_timer()
+        with self._submit_lock:
+            if not self._started:
+                self._raise_pending_error()
+                return
+            self._started = False  # refuse new dispatches from here on
+            with self._commit_cond:
+                self._stopping = True
+        for task_queue in self._task_queues:
+            task_queue.put(("stop",))
+        deadline = time.monotonic() + self.handshake_timeout
+        for process in self._processes:
+            process.join(timeout=max(deadline - time.monotonic(), 0.1))
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        if self._collector is not None:
+            self._collector.join()
+            self._collector = None
+        # A terminated straggler may have taken results with it; commit the
+        # holes so a later join() on a restarted pool can never deadlock.
+        with self._commit_cond:
+            orphaned = sorted(self._inflight)
+            for sequence in orphaned:
+                self._inflight.pop(sequence)
+        if orphaned:
+            self._record_error(
+                RuntimeError(
+                    f"{len(orphaned)} batch(es) were lost when their worker "
+                    "process was terminated at close"
+                )
+            )
+            for sequence in orphaned:
+                self._commit(sequence, None)
+        for task_queue in self._task_queues:
+            # A child that died before draining its queue leaves the feeder
+            # thread blocked mid-write; without the cancel, the interpreter's
+            # atexit handler would join that feeder forever.  On the clean
+            # path children drain everything up to the stop sentinel first,
+            # so nothing that matters is ever discarded.
+            task_queue.cancel_join_thread()
+            task_queue.close()
+        for result_queue in self._result_queues:
+            result_queue.close()
+        self._task_queues = []
+        self._result_queues = []
+        self._processes = []
+        self._raise_pending_error()
+
+    # ------------------------------------------------------------------ #
+    # Dispatch and collection
+    # ------------------------------------------------------------------ #
+    def _require_running(self) -> None:
+        # Refuse *before* the caller drains the batcher (the base-class
+        # invariant): with every child gone, a drained batch could neither
+        # be scored nor re-queued — it would vanish from the accounting.
+        super()._require_running()
+        with self._commit_cond:
+            if len(self._failed_workers) >= self.num_workers:
+                raise RuntimeError(
+                    "every worker process died: "
+                    + "; ".join(self._failed_workers.values())
+                )
+
+    def _dispatch(self, records: TrafficRecords) -> None:
+        # Caller holds _submit_lock and has checked _require_running().
+        sequence = self._next_sequence
+        self._next_sequence += 1
+        # Equal-sized micro-batches round-robin cleanly; the per-child FIFO
+        # is also what gives swap_detector its batch-boundary semantics.
+        # Workers already diagnosed dead are skipped so one crash does not
+        # strand a third of the traffic; if the last survivor dies in the
+        # race window after _require_running, the task lands on a dead
+        # child's queue and the orphan sweep commits it as an errored hole
+        # — records are never silently dropped.
+        worker_id = sequence % self.num_workers
+        with self._commit_cond:
+            if worker_id in self._failed_workers:
+                alive = [
+                    candidate
+                    for candidate in range(self.num_workers)
+                    if candidate not in self._failed_workers
+                ]
+                if alive:
+                    worker_id = alive[sequence % len(alive)]
+            self._inflight[sequence] = (records, worker_id)
+        self._task_queues[worker_id].put(
+            (
+                "score",
+                sequence,
+                records.numeric,
+                dict(records.categorical),
+                records.labels,
+            )
+        )
+
+    def _collector_loop(self) -> None:
+        """Parent-side sink: turn child replies into in-order commits.
+
+        Multiplexes the per-child result queues (``connection.wait`` on
+        their read pipes).  Exits once close() has flagged ``_stopping``,
+        every child has exited *and* a final drain has emptied the queues —
+        a child can flush its last results into its pipe in the instant
+        before its exit code becomes visible, and those must not be
+        abandoned.  A queue a dying child corrupted mid-write poisons only
+        that child's replies; its in-flight work is failed by the sweep and
+        every other worker keeps committing.
+        """
+        result_queues = list(self._result_queues)
+        readers = {queue._reader: queue for queue in result_queues}
+        while True:
+            ready = multiprocessing.connection.wait(
+                list(readers), timeout=_POLL_INTERVAL
+            )
+            if not ready:
+                with self._commit_cond:
+                    stopping = self._stopping
+                if stopping:
+                    if all(p.exitcode is not None for p in self._processes):
+                        self._drain_remaining(result_queues)
+                        return
+                else:
+                    self._check_children()
+                continue
+            for reader in ready:
+                try:
+                    message = readers[reader].get_nowait()
+                except queue_module.Empty:
+                    continue
+                except BaseException as exc:  # a queue torn by a dead child
+                    # Drop the poisoned queue; the owner is dead or dying,
+                    # so the next liveness check sweeps its in-flight work.
+                    self._record_error(exc)
+                    del readers[reader]
+                    continue
+                self._handle_message(message)
+
+    def _drain_remaining(self, result_queues) -> None:
+        """Consume every reply already flushed to the result queues.
+
+        Called once all children have exited: their queue feeder threads
+        flushed before exit, so anything in flight is in the pipes now and
+        one pass down to Empty per queue collects it all.
+        """
+        for result_queue in result_queues:
+            while True:
+                try:
+                    message = result_queue.get(timeout=_POLL_INTERVAL)
+                except BaseException:  # Empty, or a queue torn down mid-drain
+                    break
+                self._handle_message(message)
+
+    def _handle_message(self, message) -> None:
+        kind = message[0]
+        if kind == "scored":
+            _, sequence, predicted, latency, unknown_delta = message
+            self._commit_scored(sequence, predicted, latency, unknown_delta)
+        elif kind == "error":
+            _, sequence, text = message
+            self._record_error(
+                RuntimeError(f"worker process scoring failed:\n{text}")
+            )
+            with self._commit_cond:
+                known = self._inflight.pop(sequence, None) is not None
+            if known:  # else the orphan sweep already committed the hole
+                self._commit(sequence, None)
+        elif kind == "swapped":
+            _, worker_id, error = message
+            with self._commit_cond:
+                self._swap_awaiting.discard(worker_id)
+                if error is not None:
+                    self._swap_failures.append(f"worker {worker_id}: {error}")
+                self._commit_cond.notify_all()
+        elif kind == "init-error":
+            # The child exits right after this; the liveness check will
+            # fail its sequences — this just attaches the real cause.
+            _, worker_id, text = message
+            self._record_error(
+                RuntimeError(
+                    f"worker process {worker_id} failed to rehydrate its "
+                    f"detector:\n{text}"
+                )
+            )
+
+    def _commit_scored(self, sequence, predicted, latency, unknown_delta) -> None:
+        """Assemble the BatchResult the synchronous path would have built.
+
+        The child did preprocessing + inference; labels are encoded (and
+        predictions decoded) here against the parent pipeline, and the
+        child's unknown-categorical tallies fold into the parent's counters
+        so the drift report matches a synchronous run exactly.  ``finished``
+        is stamped with the parent service's clock — the only timeline the
+        throughput monitor knows — while the latency is the child's measured
+        scoring time.
+        """
+        with self._commit_cond:
+            entry = self._inflight.pop(sequence, None)
+        if entry is None:
+            # Already written off (its child was diagnosed dead after the
+            # reply was queued); the sequence was committed as a hole.
+            return
+        records, _ = entry
+        pipeline = self.service.pipeline
+        result: Optional[BatchResult]
+        try:
+            if unknown_delta:
+                pipeline.absorb_unknown_counts(unknown_delta)
+            result = BatchResult(
+                size=len(records),
+                latency=float(latency),
+                predictions=pipeline.decode_labels(predicted),
+                class_indices=predicted,
+                true_indices=pipeline.encode_labels(records),
+                finished=self.service.clock(),
+            )
+        except BaseException as exc:
+            result = None
+            self._record_error(exc)
+        self._commit(sequence, result)
+
+    def _check_children(self) -> None:
+        """Fail fast when a child died: a sequence dispatched to a dead
+        child would otherwise block join()/flush() forever.  Each in-flight
+        sequence remembers which child it was dispatched to, so the orphans
+        are exactly computable — including any dispatched to an
+        already-failed worker through the liveness-check race window."""
+        for worker_id, process in enumerate(self._processes):
+            if process.exitcode is None or worker_id in self._failed_workers:
+                continue
+            reason = (
+                f"worker process {worker_id} exited unexpectedly "
+                f"(exitcode {process.exitcode})"
+            )
+            with self._commit_cond:
+                self._failed_workers[worker_id] = reason
+                # A swap ack that will never arrive must not hang the
+                # swapper; a worker that already acked owes nothing.
+                if worker_id in self._swap_awaiting:
+                    self._swap_awaiting.discard(worker_id)
+                    self._swap_failures.append(reason)
+                self._commit_cond.notify_all()
+            self._record_error(RuntimeError(reason))
+        # Sweep every poll, not only at diagnosis time: the sweep also has
+        # to catch work routed to a dead child before its failure was known.
+        with self._commit_cond:
+            if not self._failed_workers:
+                return
+            orphaned = sorted(
+                sequence
+                for sequence, (_, worker_id) in self._inflight.items()
+                if worker_id in self._failed_workers
+            )
+            for sequence in orphaned:
+                self._inflight.pop(sequence)
+        for sequence in orphaned:
+            self._commit(sequence, None)
+
+    # ------------------------------------------------------------------ #
+    # Hot-swap
+    # ------------------------------------------------------------------ #
+    def swap_detector(self, detector, carry_unknown_counts: bool = True):
+        """Swap the parent engine and re-ship the checkpoint to the children.
+
+        Drains every dispatched batch first, so the swap lands on a batch
+        boundary: nothing scored by the old engine commits after it, and —
+        because each child applies the swap message before any later task on
+        its FIFO queue — nothing dispatched afterwards is scored by the old
+        model.  Blocks until every child acknowledges the rehydration and
+        raises if any of them failed, leaving no silent model skew.
+        Returns the retired detector, like the in-process swap.
+        """
+        self.join()
+        with self._submit_lock:
+            self._require_running()
+            retired = self.service.swap_detector(
+                detector, carry_unknown_counts=carry_unknown_counts
+            )
+            checkpoint = DetectorCheckpoint.capture(detector)
+            with self._commit_cond:
+                # Only surviving children can acknowledge (join() above has
+                # already surfaced any worker death to the caller).
+                self._swap_awaiting = {
+                    worker_id
+                    for worker_id in range(self.num_workers)
+                    if worker_id not in self._failed_workers
+                }
+                self._swap_failures = []
+            for task_queue in self._task_queues:
+                task_queue.put(("swap", checkpoint))
+        with self._commit_cond:
+            acknowledged = self._commit_cond.wait_for(
+                lambda: not self._swap_awaiting, self.handshake_timeout
+            )
+            failures = list(self._swap_failures)
+        if not acknowledged:
+            raise TimeoutError(
+                "child processes did not acknowledge the detector swap "
+                f"within {self.handshake_timeout} s"
+            )
+        if failures:
+            raise RuntimeError(
+                "detector swap failed in child process(es): " + "; ".join(failures)
+            )
+        return retired

@@ -26,6 +26,9 @@ Execution models on top of this path:
   everything on the calling thread;
 * **worker pool** (:mod:`repro.serving.workers`) — scoring fans out to a
   thread pool, monitor updates commit in submission order;
+* **process pool** (:mod:`repro.serving.procpool`) — scoring fans out to
+  checkpoint-rehydrated child processes (off the GIL), committing through
+  the same in-order protocol;
 * **sharded** (:mod:`repro.serving.sharding`) — a router fans records out
   across several services (replicas or heterogeneous detectors) and their
   reports merge back into one.

@@ -34,8 +34,10 @@ across such a fleet and merges the per-shard monitoring back into a single
 
 ``run_stream`` reuses the :class:`~repro.serving.service.PhaseAttributor`
 seam — one attributor per shard, merged per phase afterwards — and can run
-every shard on its own :class:`~repro.serving.workers.WorkerPool` for
-concurrent sharded serving.
+every shard on its own :class:`~repro.serving.workers.WorkerPool`
+(``worker_backend="thread"``) or
+:class:`~repro.serving.procpool.ProcessWorkerPool`
+(``worker_backend="process"``) for concurrent sharded serving.
 """
 
 from __future__ import annotations
@@ -276,16 +278,26 @@ class ShardedDetectionService:
         stream: Iterable[StreamBatch],
         max_batches: Optional[int] = None,
         num_workers: int = 0,
+        worker_backend: str = "thread",
     ) -> ServiceReport:
         """Serve a :class:`~repro.data.generator.TrafficStream` across the fleet.
 
         Each shard keeps its own phase attributor; the merged report sums
         the per-phase confusion counts across shards, so the breakdown is
         record-for-record equivalent to a single service scoring the same
-        stream.  With ``num_workers > 0`` every shard runs on its own
-        :class:`WorkerPool` of that size (concurrent sharded serving);
-        otherwise shards score inline on the calling thread.
+        stream.  With ``num_workers > 0`` every shard runs on its own pool
+        of that size (concurrent sharded serving); ``worker_backend``
+        selects the pool flavour — ``"thread"`` for a :class:`WorkerPool`,
+        ``"process"`` for a
+        :class:`~repro.serving.procpool.ProcessWorkerPool` whose children
+        score the shard's batches off the GIL.  Otherwise shards score
+        inline on the calling thread.
         """
+        if worker_backend not in ("thread", "process"):
+            raise ValueError(
+                f"unknown worker backend {worker_backend!r}; "
+                "choices: thread, process"
+            )
         # Records queued on a shard before the stream belong to no phase:
         # clear them out so every attribution FIFO starts aligned with its
         # shard's batcher.
@@ -300,8 +312,14 @@ class ShardedDetectionService:
         ]
         pools: Optional[List[WorkerPool]] = None
         if num_workers > 0:
+            if worker_backend == "process":
+                # Imported here: procpool pulls in the lifecycle checkpoint
+                # machinery, which imports this module back.
+                from .procpool import ProcessWorkerPool as pool_type
+            else:
+                pool_type = WorkerPool
             pools = [
-                WorkerPool(
+                pool_type(
                     shard, num_workers=num_workers,
                     result_callback=attributor.attribute,
                 ).start()

@@ -102,6 +102,18 @@ class WorkerPool:
     def running(self) -> bool:
         return self._executor is not None
 
+    def _start_timer(self) -> None:
+        if self.timer_interval > 0:
+            self._timer = threading.Thread(
+                target=self._timer_loop, name="serving-age-timer", daemon=True
+            )
+            self._timer.start()
+
+    def _stop_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.join()
+            self._timer = None
+
     def start(self) -> "WorkerPool":
         """Start the scoring threads and the age-trigger timer (idempotent)."""
         if self._executor is None:
@@ -109,11 +121,7 @@ class WorkerPool:
             self._executor = ThreadPoolExecutor(
                 max_workers=self.num_workers, thread_name_prefix="serving-worker"
             )
-            if self.timer_interval > 0:
-                self._timer = threading.Thread(
-                    target=self._timer_loop, name="serving-age-timer", daemon=True
-                )
-                self._timer.start()
+            self._start_timer()
         return self
 
     def close(self) -> None:
@@ -126,9 +134,7 @@ class WorkerPool:
         before it drains anything from the batcher.
         """
         self._shutdown.set()
-        if self._timer is not None:
-            self._timer.join()
-            self._timer = None
+        self._stop_timer()
         with self._submit_lock:
             executor, self._executor = self._executor, None
         if executor is not None:
@@ -150,7 +156,7 @@ class WorkerPool:
 
     def _dispatch_due(self) -> None:
         with self._submit_lock:
-            if self._executor is None:  # timer racing a close(): nothing to do
+            if not self.running:  # timer racing a close(): nothing to do
                 return
             batch = self.service.batcher.poll()
             if batch is not None:
@@ -160,10 +166,10 @@ class WorkerPool:
         """Refuse before touching the batcher: draining records and then
         failing to dispatch them would lose traffic silently.  Callers hold
         ``_submit_lock``, so the check cannot race a concurrent close()."""
-        if self._executor is None:
+        if not self.running:
             raise RuntimeError(
-                "WorkerPool is not running; call start() or use it as a "
-                "context manager"
+                f"{type(self).__name__} is not running; call start() or use "
+                "it as a context manager"
             )
         if self._streaming:
             # An external batch committing mid-stream would consume phase
@@ -186,8 +192,24 @@ class WorkerPool:
             result = self.service.score(records)
         except BaseException as exc:  # surfaced on join/flush/close
             result = None
-            with self._commit_cond:
-                self._errors.append(exc)
+            self._record_error(exc)
+        self._commit(sequence, result)
+
+    def _record_error(self, error: BaseException) -> None:
+        """Stash an error for re-raise on the next join/flush/close."""
+        with self._commit_cond:
+            self._errors.append(error)
+
+    def _commit(self, sequence: int, result: Optional[BatchResult]) -> None:
+        """Feed one scored batch into the reorder buffer; commit what's due.
+
+        This is the ordering seam shared by every concurrent backend: the
+        thread pool calls it from its scoring threads, the process pool from
+        its result-collector thread.  Results enter in any order; monitor
+        updates and callbacks leave strictly in submission order.  A ``None``
+        result (the batch errored) is skipped but still advances the commit
+        cursor, so one failure cannot stall every later batch.
+        """
         with self._commit_cond:
             self._out_of_order[sequence] = result
             while self._next_commit in self._out_of_order:
@@ -262,6 +284,20 @@ class WorkerPool:
     def report(self) -> ServiceReport:
         """The wrapped service's current report."""
         return self.service.report()
+
+    def swap_detector(self, detector, carry_unknown_counts: bool = True):
+        """Hot-swap the wrapped service's engine; returns the retired detector.
+
+        Drains every dispatched batch first (:meth:`join`), so no batch
+        scored by the old engine commits after the swap — the same boundary
+        :class:`~repro.serving.lifecycle.DriftSupervisor` flushes to.  This
+        is the swap seam shared by all pool backends; the process pool
+        overrides it to also re-ship the new checkpoint to its children.
+        """
+        self.join()
+        return self.service.swap_detector(
+            detector, carry_unknown_counts=carry_unknown_counts
+        )
 
     def _raise_pending_error(self) -> None:
         with self._commit_cond:

@@ -486,7 +486,20 @@ class TestDriftSupervisor:
             target, self.POLICY, trainer=self._stub_trainer(challenger),
             background=False,
         )
-        outcome = supervisor.run_stream(iter(batches))
+
+        def paced():
+            # Drain the pool between batches: these tiny batches are all
+            # submitted in well under a millisecond, so on a loaded host
+            # the pool may commit nothing before the stream ends and the
+            # policy would never see a rolling report (a scheduling flake,
+            # not a serving bug — the boundary equality below holds for
+            # whichever boundary the supervisor picks).
+            for stream_batch in batches:
+                yield stream_batch
+                if isinstance(target, WorkerPool) and target.running:
+                    target.join()
+
+        outcome = supervisor.run_stream(paced())
         assert outcome.promoted
         promoted = next(e for e in outcome.events if e.kind == "promoted")
         boundary = promoted.batch_index + 1  # swap commits after that batch

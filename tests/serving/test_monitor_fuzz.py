@@ -1,0 +1,147 @@
+"""Seeded fuzz test for the ThroughputMonitor busy-time interval merge.
+
+Under process- or thread-parallel scoring, batches commit in arbitrary
+order with arbitrarily overlapping ``[end - latency, end]`` intervals.
+The busy-time union must hold its invariants under *any* commit order:
+
+* ``busy_time`` equals the exact measure of the interval union whenever
+  the number of simultaneously pending disjoint intervals stays within
+  the merge's bound (every realistic schedule);
+* ``max(latency) <= busy_time <= busy_span`` and
+  ``busy_time <= total_time`` — no double counting, no time invented
+  outside the span, and never less than the single longest batch;
+* commit order is irrelevant: shuffled commits of the same intervals
+  produce the same busy time.
+
+A regression case pins the bug this replaced: a batch committing fully
+behind the high-water mark used to contribute *nothing* (an admitted
+undercount that grows under out-of-order parallel commits); its uncovered
+portion now counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serving import ThroughputMonitor
+
+N_SCHEDULES = 200
+
+
+def _union_measure(intervals):
+    """Exact measure of a union of [start, end] intervals (offline oracle)."""
+    total = 0.0
+    covered_until = None
+    for start, end in sorted(intervals):
+        if covered_until is None or start > covered_until:
+            total += end - start
+            covered_until = end
+        elif end > covered_until:
+            total += end - covered_until
+            covered_until = end
+    return total
+
+
+def _random_intervals(rng, n):
+    """n intervals with a mix of overlaps, nesting, gaps and duplicates."""
+    starts = rng.uniform(0.0, 50.0, size=n)
+    lengths = rng.uniform(0.0, 5.0, size=n)
+    return [(float(s), float(s + d)) for s, d in zip(starts, lengths)]
+
+
+class TestBusyTimeFuzz:
+    def test_shuffled_overlapping_commits_match_the_exact_union(self):
+        failures = []
+        for schedule in range(N_SCHEDULES):
+            rng = np.random.default_rng(schedule)
+            n = int(rng.integers(1, ThroughputMonitor.MAX_PENDING_INTERVALS))
+            intervals = _random_intervals(rng, n)
+            order = rng.permutation(n)
+
+            monitor = ThroughputMonitor()
+            for index in order:
+                start, end = intervals[index]
+                monitor.update(1, end - start, end_time=end)
+
+            exact = _union_measure(intervals)
+            latencies = [end - start for start, end in intervals]
+            busy = monitor.busy_time
+            span = monitor.busy_span
+            checks = [
+                (abs(busy - exact) < 1e-9, f"busy {busy} != union {exact}"),
+                (busy <= span + 1e-9, f"busy {busy} > span {span}"),
+                (
+                    busy <= monitor.total_time + 1e-9,
+                    f"busy {busy} > summed latencies {monitor.total_time}",
+                ),
+                (
+                    max(latencies) <= busy + 1e-9,
+                    f"busy {busy} < longest batch {max(latencies)}",
+                ),
+            ]
+            for ok, message in checks:
+                if not ok:
+                    failures.append(f"schedule {schedule}: {message}")
+        assert not failures, "\n".join(failures[:10])
+
+    def test_commit_order_is_irrelevant(self):
+        rng = np.random.default_rng(7)
+        intervals = _random_intervals(rng, 40)
+        totals = set()
+        for _ in range(5):
+            order = rng.permutation(len(intervals))
+            monitor = ThroughputMonitor()
+            for index in order:
+                start, end = intervals[index]
+                monitor.update(1, end - start, end_time=end)
+            totals.add(round(monitor.busy_time, 12))
+        assert len(totals) == 1
+
+    def test_straggler_behind_the_mark_still_counts(self):
+        """Regression: [10, 20] then [0, 5] — the old high-water-mark merge
+        dropped the second batch entirely (busy 10); its 5 uncovered
+        seconds must count (busy 15)."""
+        monitor = ThroughputMonitor()
+        monitor.update(1, 10.0, end_time=20.0)
+        monitor.update(1, 5.0, end_time=5.0)
+        assert monitor.busy_time == pytest.approx(15.0)
+        assert monitor.busy_span == pytest.approx(20.0)
+
+    def test_straggler_inside_covered_time_adds_nothing(self):
+        monitor = ThroughputMonitor()
+        monitor.update(1, 10.0, end_time=20.0)
+        monitor.update(1, 2.0, end_time=15.0)  # nested: fully covered
+        assert monitor.busy_time == pytest.approx(10.0)
+
+    def test_partial_overlap_counts_only_the_uncovered_portion(self):
+        monitor = ThroughputMonitor()
+        monitor.update(1, 4.0, end_time=10.0)   # [6, 10]
+        monitor.update(1, 4.0, end_time=8.0)    # [4, 8]: 2 new seconds
+        assert monitor.busy_time == pytest.approx(6.0)
+
+    def test_bounded_memory_never_overcounts(self):
+        """Far more reordered disjoint intervals than the pending bound:
+        the frozen floor may undercount stragglers, but the total must stay
+        a lower bound of the exact union and within the span."""
+        cap = ThroughputMonitor.MAX_PENDING_INTERVALS
+        n = cap * 4
+        # Disjoint unit intervals [2k, 2k+1], committed in reverse order —
+        # the worst case for a bounded pending set.
+        intervals = [(2.0 * k, 2.0 * k + 1.0) for k in range(n)]
+        monitor = ThroughputMonitor()
+        for start, end in reversed(intervals):
+            monitor.update(1, end - start, end_time=end)
+        exact = _union_measure(intervals)
+        assert monitor.busy_time <= exact + 1e-9
+        assert monitor.busy_time <= monitor.busy_span + 1e-9
+        # Reverse order is the bounded merge's worst case: once the floor
+        # freezes, every later (earlier-in-time) interval is clipped away.
+        # The undercount is bounded by the pending cap — at least the first
+        # cap+1 intervals were counted in full before the first freeze.
+        assert monitor.busy_time >= float(cap + 1) - 1e-9
+
+    def test_pending_intervals_stay_bounded(self):
+        cap = ThroughputMonitor.MAX_PENDING_INTERVALS
+        monitor = ThroughputMonitor()
+        for k in range(cap * 10):
+            monitor.update(1, 0.5, end_time=2.0 * k + 1.0)
+        assert len(monitor._pending_intervals) <= cap
