@@ -12,7 +12,12 @@ pools) — and writes the per-scenario, per-phase DR/FAR/throughput rows to
 scenario-regression baseline future PRs diff against, alongside
 ``BENCH_serving.json``.
 
-The suite additionally runs the ``retrain-recovery`` preset under a
+The suite additionally exercises the fleet control plane: the ``overload``
+preset on an autoscaled replica fleet (recording scaling-event counts and
+cross-checking the confusion counts against an uncontrolled run) and the
+``rollout-drift`` preset with a checkpoint-rehydrated challenger driven
+through the staged canary rollout (recording stage timings and per-stage
+DR); and runs the ``retrain-recovery`` preset under a
 :class:`repro.serving.lifecycle.DriftSupervisor` (rolling window 512,
 inline retrain on the replay buffer) and the baseline records the
 lifecycle row: the event timeline (drift detected → retrain → promoted),
@@ -65,6 +70,7 @@ def _run_suite(seed):
         seed=seed,
         num_workers=NUM_WORKERS,
         replica_shards=REPLICA_SHARDS,
+        include_fleet_control=True,
         include_lifecycle=True,
     )
     return suite.run()
@@ -97,6 +103,26 @@ def _render(results) -> str:
                 f"{quality['dr']:>7.2%} {quality['far']:>7.2%} "
                 f"{quality['acc']:>7.2%}"
             )
+    fleet_control = results.get("fleet_control")
+    if fleet_control:
+        lines.append("fleet control plane (FleetController)")
+        for preset in ("overload", "rollout"):
+            row = fleet_control[preset]
+            lines.append(
+                f"  {preset}: {row['report']['records']} rec, "
+                f"{row['scaling_events']} scaling events, "
+                f"promoted={row['promoted']}, completed={row['completed']}, "
+                f"rolled_back={row['rolled_back']}"
+            )
+            if row["stage_timings_s"]:
+                timings = ", ".join(f"{t:.3f}s" for t in row["stage_timings_s"])
+                lines.append(f"    stage timings: {timings}")
+            for phase, quality in row["report"]["phases"].items():
+                lines.append(
+                    f"    {phase:<29s} {quality['records']:>8d} {'':>10s} "
+                    f"{quality['dr']:>7.2%} {quality['far']:>7.2%} "
+                    f"{quality['acc']:>7.2%}"
+                )
     lifecycle = results.get("lifecycle")
     if lifecycle:
         lines.append(
@@ -151,6 +177,31 @@ def test_scenario_suite(run_once, seed, check_claims):
             assert phase_total == entry["total_records"], (
                 f"{name}/{model}: phase attribution lost records"
             )
+
+    fleet_control = results["fleet_control"]
+    overload = fleet_control["overload"]
+    assert overload["report"]["records"] == overload["total_records"], (
+        "autoscaled overload run dropped records"
+    )
+    assert overload["scaling_events"] >= 1, (
+        "the overload preset never forced a scaling event"
+    )
+    assert overload["counts_equal_uncontrolled"], (
+        "autoscaling moved the confusion counts"
+    )
+    rollout = fleet_control["rollout"]
+    assert rollout["report"]["records"] == rollout["total_records"], (
+        "staged rollout run dropped records"
+    )
+    assert rollout["promoted"] and rollout["completed"], (
+        f"staged rollout did not complete: {rollout['events']}"
+    )
+    swaps = rollout["event_counts"].get("swap", 0)
+    assert swaps == REPLICA_SHARDS, (
+        f"expected {REPLICA_SHARDS} stage swaps, saw {swaps}"
+    )
+    assert len(rollout["stage_timings_s"]) == swaps - 1
+    assert all(t >= 0.0 for t in rollout["stage_timings_s"])
 
     lifecycle = results["lifecycle"]
     assert lifecycle["report"]["records"] == lifecycle["total_records"], (

@@ -40,7 +40,13 @@ from .builder import (
     Segment,
     Spike,
 )
-from .fleet import InterleavedStream, build_fleet_service
+from .fleet import (
+    InterleavedStream,
+    build_fleet_service,
+    build_replica_fleet,
+    overload_scenario,
+    rollout_drift_scenario,
+)
 from .presets import (
     RATE_BASELINE,
     RATE_FLOOD,
@@ -67,6 +73,9 @@ __all__ = [
     "ScenarioBuilder",
     "InterleavedStream",
     "build_fleet_service",
+    "build_replica_fleet",
+    "overload_scenario",
+    "rollout_drift_scenario",
     "flood_scenario",
     "probe_sweep_scenario",
     "imbalance_shift_scenario",

@@ -23,11 +23,19 @@ from dataclasses import replace
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence
 
 from ..core.detector import PelicanDetector
-from ..data.generator import StreamBatch, TrafficStream
+from ..data.generator import StreamBatch, TrafficGenerator, TrafficStream
 from ..serving.service import DetectionService
 from ..serving.sharding import ShardedDetectionService, ShardRouter
+from .builder import Constant, Drift, Scenario, Segment
 
-__all__ = ["InterleavedStream", "build_fleet_service", "validate_detector_keys"]
+__all__ = [
+    "InterleavedStream",
+    "build_fleet_service",
+    "build_replica_fleet",
+    "validate_detector_keys",
+    "overload_scenario",
+    "rollout_drift_scenario",
+]
 
 
 def validate_detector_keys(detectors: Mapping[str, PelicanDetector]) -> None:
@@ -139,3 +147,122 @@ def build_fleet_service(
         assignment={name: index for index, name in enumerate(names)},
     )
     return ShardedDetectionService(shards, router, names=names)
+
+
+def build_replica_fleet(
+    detector: PelicanDetector,
+    n_shards: int = 2,
+    **service_kwargs,
+) -> ShardedDetectionService:
+    """``n_shards`` replica shards of one detector, record-striped.
+
+    The homogeneous fleet the
+    :class:`~repro.serving.fleet.FleetController` rollout path requires:
+    every shard serves the same weights, so a challenger that wins on the
+    canary shard is valid on every other shard, and merged quality counts
+    stay bit-identical to a single-service run.  Extra keyword arguments
+    go to each shard's :class:`~repro.serving.service.DetectionService`.
+    """
+    if n_shards <= 0:
+        raise ValueError("a replica fleet needs at least one shard")
+    shards = [
+        DetectionService(detector, **service_kwargs) for _ in range(n_shards)
+    ]
+    return ShardedDetectionService(
+        shards,
+        ShardRouter(n_shards, "replica"),
+        names=[f"replica-{index}" for index in range(n_shards)],
+    )
+
+
+def overload_scenario(
+    generator: TrafficGenerator,
+    batch_size: int = 64,
+    seed: int = 0,
+    attack_class: Optional[str] = None,
+    calm_batches: int = 4,
+    surge_batches: int = 10,
+    cooldown_batches: int = 4,
+    attack_fraction: float = 0.5,
+) -> TrafficStream:
+    """Calm → sustained surge → cooldown: the autoscaling workload.
+
+    A light benign warm-up, then a long flood-intensity surge (hinted at
+    ``RATE_FLOOD``) that keeps every worker saturated, then a calm tail.
+    Served through a :class:`~repro.serving.fleet.FleetController` with an
+    :class:`~repro.serving.fleet.AutoscalePolicy`, the surge drives pool
+    backlog above the scale-up threshold and the cooldown lets it drain
+    below the scale-down threshold — the preset that forces both edges of
+    the control loop.  The class mix itself is ordinary flood traffic, so
+    reports stay comparable with :func:`~repro.scenarios.flood_scenario`
+    runs.
+    """
+    from .presets import RATE_BASELINE, RATE_FLOOD, _pick_attack
+
+    if not 0.0 < attack_fraction < 1.0:
+        raise ValueError("attack_fraction must be in (0, 1)")
+    normal = generator.schema.normal_class
+    attack = _pick_attack(generator, attack_class, ("dos",), "attack")
+    benign = {normal: 1.0}
+    surge = {normal: 1.0 - attack_fraction, attack: attack_fraction}
+    scenario = Scenario(
+        "overload",
+        (
+            Segment("calm", calm_batches, Constant(benign),
+                    rate_hint=RATE_BASELINE),
+            Segment("surge", surge_batches, Constant(surge),
+                    rate_hint=RATE_FLOOD),
+            Segment("cooldown", cooldown_batches, Constant(benign),
+                    rate_hint=RATE_BASELINE),
+        ),
+    )
+    return scenario.build(generator, batch_size=batch_size, seed=seed)
+
+
+def rollout_drift_scenario(
+    generator: TrafficGenerator,
+    batch_size: int = 64,
+    seed: int = 0,
+    attack_class: Optional[str] = None,
+    baseline_batches: int = 6,
+    onset_batches: int = 4,
+    hold_batches: int = 24,
+    attack_fraction: float = 0.3,
+    drift_to: float = 3.5,
+) -> TrafficStream:
+    """Aimed evasion drift with a hold long enough for a staged rollout.
+
+    The :func:`~repro.scenarios.retrain_recovery_scenario` shape — steady
+    mixed feed, covariate shift aimed along the generator's evasion
+    direction, then a long degraded hold — but with the hold stretched to
+    span a full :class:`~repro.serving.fleet.FleetController` rollout:
+    shadow trial on the canary shard, staggered shard-by-shard swaps, and
+    the post-swap watch window, all under the *same* drifted distribution
+    so the promotion gate and the rollback floor judge like against like.
+    """
+    from .presets import RATE_BASELINE, _pick_attack
+
+    if not 0.0 < attack_fraction < 1.0:
+        raise ValueError("attack_fraction must be in (0, 1)")
+    if drift_to <= 0.0:
+        raise ValueError("drift_to must be positive (this is a drift scenario)")
+    normal = generator.schema.normal_class
+    attack = _pick_attack(generator, attack_class, ("dos",), "attack")
+    mixed = {normal: 1.0 - attack_fraction, attack: attack_fraction}
+    scenario = Scenario(
+        "rollout-drift",
+        (
+            Segment("baseline", baseline_batches, Constant(mixed),
+                    rate_hint=RATE_BASELINE),
+            Segment("drift-onset", onset_batches, Constant(mixed),
+                    drift=Drift(to=drift_to), rate_hint=RATE_BASELINE),
+            Segment("rollout-hold", hold_batches, Constant(mixed),
+                    rate_hint=RATE_BASELINE),
+        ),
+    )
+    return scenario.build(
+        generator,
+        batch_size=batch_size,
+        seed=seed,
+        drift_direction=generator.evasion_direction(attack),
+    )

@@ -29,19 +29,32 @@ from typing import Callable, Dict, Mapping, Optional
 from ..core.detector import PelicanDetector
 from ..data.nslkdd import nslkdd_generator
 from ..data.unswnb15 import unswnb15_generator
-from ..serving.lifecycle import DriftPolicy, DriftSupervisor
+from ..serving.fleet import AutoscalePolicy, FleetController, RolloutPolicy
+from ..serving.lifecycle import DetectorCheckpoint, DriftPolicy, DriftSupervisor
 from ..serving.procpool import ProcessWorkerPool
 from ..serving.service import DetectionService, ServiceReport
 from ..serving.sharding import ShardedDetectionService
 from ..serving.workers import WorkerPool
-from .fleet import build_fleet_service, validate_detector_keys
+from .fleet import (
+    build_fleet_service,
+    build_replica_fleet,
+    overload_scenario,
+    rollout_drift_scenario,
+    validate_detector_keys,
+)
 from .presets import (
     SINGLE_STREAM_PRESETS,
     fleet_scenario,
     retrain_recovery_scenario,
 )
 
-__all__ = ["ScenarioSuite", "report_row", "lifecycle_row", "DEFAULT_LIFECYCLE_POLICY"]
+__all__ = [
+    "ScenarioSuite",
+    "report_row",
+    "lifecycle_row",
+    "fleet_control_row",
+    "DEFAULT_LIFECYCLE_POLICY",
+]
 
 #: Generator factories per schema name (the canonical synthetic populations).
 _GENERATOR_FACTORIES = {
@@ -119,6 +132,44 @@ def lifecycle_row(outcome) -> Dict[str, object]:
     }
 
 
+def fleet_control_row(outcome) -> Dict[str, object]:
+    """Flatten a :class:`~repro.serving.fleet.FleetOutcome` to JSON.
+
+    Alongside the usual service-report row it records the controller's
+    event timeline, per-kind event counts, the rollout stage timings
+    (service-clock deltas between consecutive swap events) and — because
+    the merged report already separates phases — the per-phase DR the
+    bench asserts against.
+    """
+    swaps = [event for event in outcome.events if event.kind == "swap"]
+    stage_timings = [
+        later.time - earlier.time
+        for earlier, later in zip(swaps, swaps[1:])
+    ]
+    kind_counts: Dict[str, int] = {}
+    for event in outcome.events:
+        kind_counts[event.kind] = kind_counts.get(event.kind, 0) + 1
+    return {
+        "events": [
+            {
+                "kind": event.kind,
+                "batch_index": event.batch_index,
+                "shard": event.shard,
+                "records_seen": event.records_seen,
+                "detail": {k: str(v) for k, v in event.detail.items()},
+            }
+            for event in outcome.events
+        ],
+        "event_counts": kind_counts,
+        "scaling_events": kind_counts.get("resize", 0),
+        "stage_timings_s": stage_timings,
+        "promoted": outcome.promoted,
+        "completed": outcome.completed,
+        "rolled_back": outcome.rolled_back,
+        "report": report_row(outcome.report),
+    }
+
+
 class ScenarioSuite:
     """Sweep scenario presets across the serving execution models.
 
@@ -148,6 +199,16 @@ class ScenarioSuite:
     include_fleet:
         Set ``False`` to skip the cross-dataset preset even when both
         detectors are available.
+    include_fleet_control:
+        Run the fleet-control-plane presets under a
+        :class:`~repro.serving.fleet.FleetController` and record both
+        control loops in the result tree's ``fleet_control`` entry: the
+        ``overload`` preset on an autoscaled replica fleet (scaling-event
+        counts, counts cross-checked against an uncontrolled run) and the
+        ``rollout-drift`` preset with a checkpoint-rehydrated challenger
+        driven through the staged canary rollout (stage timings, per-phase
+        DR).  Off by default for the same reason as the lifecycle run:
+        quick sweeps should not pay for it.
     include_lifecycle:
         Run the ``retrain-recovery`` preset a second time under a
         :class:`~repro.serving.lifecycle.DriftSupervisor` (inline retrain)
@@ -179,6 +240,7 @@ class ScenarioSuite:
         replica_shards: int = 2,
         scenarios: Optional[Mapping[str, Callable]] = None,
         include_fleet: bool = True,
+        include_fleet_control: bool = False,
         include_lifecycle: bool = False,
         lifecycle_policy: Optional[DriftPolicy] = None,
         lifecycle_trainer: Optional[Callable] = None,
@@ -198,6 +260,7 @@ class ScenarioSuite:
             scenarios if scenarios is not None else SINGLE_STREAM_PRESETS
         )
         self.include_fleet = bool(include_fleet)
+        self.include_fleet_control = bool(include_fleet_control)
         self.include_lifecycle = bool(include_lifecycle)
         self.lifecycle_policy = lifecycle_policy or DEFAULT_LIFECYCLE_POLICY
         self.lifecycle_trainer = lifecycle_trainer
@@ -242,6 +305,80 @@ class ScenarioSuite:
             flush_interval=0.0,
             window=self.window,
         )
+
+    def _replica_fleet(self, detector: PelicanDetector) -> ShardedDetectionService:
+        return build_replica_fleet(
+            detector,
+            self.replica_shards,
+            max_batch_size=max(self.batch_size, 1),
+            flush_interval=0.0,
+            window=self.window,
+        )
+
+    def _run_fleet_control(
+        self, primary_name: str, primary: PelicanDetector, generator
+    ) -> Dict[str, object]:
+        """Both control loops on the fleet-control presets (see
+        ``include_fleet_control``)."""
+        entry: Dict[str, object] = {"dataset": primary_name}
+
+        # Overload: start every shard at one worker with a hair-trigger
+        # policy, so the surge forces scale-ups and the calm edges force
+        # scale-downs; the uncontrolled run cross-checks the determinism
+        # contract (autoscaling must not move a single confusion count).
+        overload = overload_scenario(
+            generator, batch_size=self.batch_size, seed=self.seed
+        )
+        controller = FleetController(
+            self._replica_fleet(primary),
+            num_workers=1,
+            autoscale=AutoscalePolicy(
+                min_workers=1,
+                max_workers=max(self.num_workers, 2),
+                scale_up_backlog=0.01,
+                scale_down_backlog=0.005,
+            ),
+        )
+        outcome = controller.run_stream(overload)
+        baseline = self._replica_fleet(primary).run_stream(overload)
+        row = fleet_control_row(outcome)
+        row["total_batches"] = overload.total_batches
+        row["total_records"] = overload.total_records
+        row["counts_equal_uncontrolled"] = (
+            outcome.report.rolling is not None
+            and baseline.rolling is not None
+            and (
+                outcome.report.rolling.tp, outcome.report.rolling.tn,
+                outcome.report.rolling.fp, outcome.report.rolling.fn,
+            ) == (
+                baseline.rolling.tp, baseline.rolling.tn,
+                baseline.rolling.fp, baseline.rolling.fn,
+            )
+        )
+        entry["overload"] = row
+
+        # Rollout: a checkpoint-rehydrated (scoring-identical) challenger
+        # rides the staged canary path end to end — shadow trial, gate,
+        # staggered swaps, post-swap watch.
+        rollout_stream = rollout_drift_scenario(
+            generator, batch_size=self.batch_size, seed=self.seed
+        )
+        controller = FleetController(
+            self._replica_fleet(primary),
+            num_workers=self.num_workers,
+            rollout=RolloutPolicy(
+                shadow_batches=3,
+                stagger_batches=2,
+                min_watch_records=max(self.batch_size, 32),
+            ),
+        )
+        controller.request_rollout(DetectorCheckpoint.capture(primary))
+        outcome = controller.run_stream(rollout_stream)
+        row = fleet_control_row(outcome)
+        row["total_batches"] = rollout_stream.total_batches
+        row["total_records"] = rollout_stream.total_records
+        entry["rollout"] = row
+        return entry
 
     # ------------------------------------------------------------------ #
     def run(self) -> Dict[str, object]:
@@ -303,6 +440,11 @@ class ScenarioSuite:
                     )
                     entry["models"][model] = report_row(report)
                 results["scenarios"]["fleet"] = entry
+
+        if self.include_fleet_control:
+            results["fleet_control"] = self._run_fleet_control(
+                primary_name, primary, generator
+            )
 
         if self.include_lifecycle:
             stream = self.lifecycle_scenario(

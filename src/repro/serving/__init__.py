@@ -46,6 +46,17 @@ Four execution models run on that path:
   picks the per-shard pool backend), and with replica routing the merged
   confusion counts equal the single-service run on the same stream.
 
+The fleet control plane (:mod:`repro.serving.fleet`) operates those
+models: :class:`FleetController` owns a sharded fleet with one worker pool
+per shard and closes two control loops on stream batch boundaries —
+utilization-driven autoscaling (live ``resize()`` on both pool backends,
+driven by :class:`PoolStats` backlog and monitor utilization, between
+:class:`AutoscalePolicy` bounds) and staged canary rollout of a challenger
+detector (shadow trial on a canary shard, :class:`ShadowComparison` gate,
+staggered shard-by-shard hot-swap, automatic rollback when post-swap DR
+falls through the :class:`RolloutPolicy` floor).  Every decision lands in
+a replayable fleet timeline on the report (see ``docs/SERVING.md``).
+
 The model lifecycle lives in :mod:`repro.serving.lifecycle`:
 :class:`DetectorCheckpoint` (single-archive save/load reconstructing a
 scoring-identical detector), :class:`ShadowDeployment` (a challenger scores
@@ -86,6 +97,15 @@ from .lifecycle import (
     ShadowReport,
 )
 from .procpool import ProcessWorkerPool
+from .fleet import (
+    AutoscalePolicy,
+    FleetAction,
+    FleetController,
+    FleetEvent,
+    FleetOutcome,
+    RolloutPolicy,
+)
+from .workers import PoolStats
 
 __all__ = [
     "MicroBatcher",
@@ -97,7 +117,14 @@ __all__ = [
     "BatchResult",
     "ServiceReport",
     "WorkerPool",
+    "PoolStats",
     "ProcessWorkerPool",
+    "FleetController",
+    "AutoscalePolicy",
+    "RolloutPolicy",
+    "FleetEvent",
+    "FleetAction",
+    "FleetOutcome",
     "ShardRouter",
     "ShardedDetectionService",
     "DetectorCheckpoint",

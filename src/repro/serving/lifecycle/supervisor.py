@@ -205,7 +205,7 @@ class LifecycleEvent:
     """One timeline entry of a supervised run."""
 
     kind: str               # drift-detected | retrain-complete | retrain-failed
-    #                       # | promoted | trial-rejected
+    #                       # | promoted | trial-rejected | promotion-delegated
     batch_index: int        # stream batch after which the event fired
     records_seen: int       # records served when it fired
     time: float             # service-clock reading
@@ -495,6 +495,15 @@ class DriftSupervisor:
     max_retrains:
         Upper bound on retrain cycles in one run (a runaway-threshold
         backstop).
+    promotion_hook:
+        Optional ``(challenger) -> None`` callable that takes over the
+        promotion: instead of flushing and swapping the supervised target
+        itself, the supervisor hands the challenger off (logging a
+        ``promotion-delegated`` event) and leaves the deployment to the
+        hook.  This is how a fleet delegates its rollouts: the hook is
+        typically :meth:`repro.serving.fleet.FleetController.request_rollout`,
+        which stages the challenger through a canary shard instead of
+        swapping every shard at once.
     """
 
     def __init__(
@@ -509,6 +518,7 @@ class DriftSupervisor:
         ] = None,
         background: bool = True,
         max_retrains: int = 4,
+        promotion_hook: Optional[Callable[[PelicanDetector], None]] = None,
     ) -> None:
         if shadow_batches < 0:
             raise ValueError("shadow_batches must be non-negative")
@@ -523,6 +533,7 @@ class DriftSupervisor:
         self.promote_if = promote_if
         self.background = bool(background)
         self.max_retrains = int(max_retrains)
+        self.promotion_hook = promotion_hook
 
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -609,7 +620,16 @@ class DriftSupervisor:
                 retrain_thread = None
             if "error" in retrain_box:
                 error = retrain_box.pop("error")
-                log("retrain-failed", batch_index, error=repr(error))
+                # Structured type/message fields, not one repr blob: the
+                # timeline is the only place a failed retrain surfaces
+                # (serving deliberately continues on the primary), so the
+                # event must be machine-readable for operators and tests.
+                log(
+                    "retrain-failed",
+                    batch_index,
+                    error_type=type(error).__name__,
+                    error_message=str(error),
+                )
                 return
             if "challenger" not in retrain_box:
                 return
@@ -640,6 +660,22 @@ class DriftSupervisor:
                     challenger, shadow_service = None, None
                     cooldown_mark = adapter.records_seen()
                     return
+            if self.promotion_hook is not None:
+                # Fleet-wide promotion is delegated: the hook (a fleet
+                # controller's request_rollout) owns the deployment — canary
+                # shadow, staged swaps, rollback — so the supervisor only
+                # hands over the challenger and stands down until cooldown.
+                handed_off = challenger
+                log(
+                    "promotion-delegated",
+                    batch_index,
+                    challenger_schema=handed_off.schema.name,
+                )
+                challenger, shadow_service = None, None
+                unknown_mark = adapter.unknown_total()
+                cooldown_mark = adapter.records_seen()
+                self.promotion_hook(handed_off)
+                return
             # The swap boundary: drain everything dispatched or pending so
             # the challenger's first batch is exactly the next submission —
             # stop-the-world-equivalent, with zero records dropped.

@@ -220,11 +220,17 @@ class ThroughputMonitor:
                 merged_end = max(merged_end, interval[1])
         self._busy_time += (end - start) - overlap
         kept.insert(insert_at, [merged_start, merged_end])
+        # Freeze the oldest intervals in one slice instead of a pop(0) loop:
+        # the intervals are sorted, so the largest frozen end — the new
+        # floor — is the last frozen interval's end, and no element shifting
+        # is paid on the hot path.
+        excess = len(kept) - self.MAX_PENDING_INTERVALS
+        if excess > 0:
+            floor = kept[excess - 1][1]
+            if self._covered_floor is None or floor > self._covered_floor:
+                self._covered_floor = floor
+            kept = kept[excess:]
         self._pending_intervals = kept
-        while len(self._pending_intervals) > self.MAX_PENDING_INTERVALS:
-            frozen = self._pending_intervals.pop(0)
-            if self._covered_floor is None or frozen[1] > self._covered_floor:
-                self._covered_floor = frozen[1]
 
     @property
     def total_batches(self) -> int:
@@ -285,6 +291,24 @@ class ThroughputMonitor:
         with self._lock:
             return self._busy_time
 
+    def _utilization_locked(self) -> float:
+        span = self._busy_span_locked()
+        if span <= 0.0:
+            return 0.0
+        return min(self._busy_time / span, 1.0)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the busy span actually spent scoring (0.0 to 1.0).
+
+        ``busy_time / busy_span``: 1.0 means the service never sat idle
+        between batches, values near 0 mean sporadic traffic.  This is the
+        saturation signal the fleet controller's autoscaler reads — it needs
+        no extra bookkeeping because both totals are already maintained.
+        """
+        with self._lock:
+            return self._utilization_locked()
+
     @property
     def throughput(self) -> float:
         """Records per second of busy time (0.0 before any batch).
@@ -327,6 +351,7 @@ class ThroughputMonitor:
                 "total_time_s": self._total_time,
                 "busy_time_s": self._busy_time,
                 "busy_span_s": self._busy_span_locked(),
+                "utilization": self._utilization_locked(),
                 "throughput_rps": self._throughput_locked(),
                 "mean_latency_s": self._mean_latency_locked(),
                 "p95_latency_s": self._p95_latency_locked(),

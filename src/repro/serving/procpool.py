@@ -48,6 +48,7 @@ import queue as queue_module
 import threading
 import time
 import traceback
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
@@ -63,6 +64,22 @@ __all__ = ["ProcessWorkerPool"]
 #: Collector poll period: how often child liveness is re-checked while the
 #: result queue is quiet.
 _POLL_INTERVAL = 0.1
+
+
+@dataclass
+class _Child:
+    """One child scoring process and its private queues.
+
+    ``token`` is unique for the pool's whole lifetime — slot indices are
+    reused by ``resize()`` (shrink then grow), so everything keyed per child
+    (in-flight work, swap acks, failure diagnoses) is keyed by token, never
+    by position.
+    """
+
+    token: int
+    process: "multiprocessing.process.BaseProcess" = field(repr=False)
+    task_queue: object = field(repr=False)
+    result_queue: object = field(repr=False)
 
 
 def _worker_main(worker_id, schema_name, fast, task_queue, result_queue):
@@ -198,17 +215,22 @@ class ProcessWorkerPool(WorkerPool):
         self.start_method = start_method
         self.handshake_timeout = float(handshake_timeout)
         self._started = False
-        self._processes: List[multiprocessing.process.BaseProcess] = []
-        self._task_queues: list = []
-        self._result_queues: list = []
+        # Active scoring slots (dispatch routes sequence % len(_slots)) and
+        # the graveyard: children retired by resize() that are still
+        # draining their FIFO down to the stop sentinel.  Both lists are
+        # mutated under _commit_cond so the collector can snapshot them.
+        self._slots: List[_Child] = []
+        self._graveyard: List[_Child] = []
+        self._next_token = 0
         self._collector: Optional[threading.Thread] = None
-        # Guarded by _commit_cond: (records, assigned worker) awaiting a
-        # child's reply, the worker ids still owing a swap ack, and workers
-        # already diagnosed as dead.
+        # Guarded by _commit_cond: (records, assigned child token) awaiting
+        # a child's reply, the tokens still owing a swap ack, tokens already
+        # diagnosed as dead, and tokens that retired cleanly.
         self._inflight: Dict[int, Tuple[TrafficRecords, int]] = {}
         self._swap_awaiting: Set[int] = set()
         self._swap_failures: List[str] = []
         self._failed_workers: Dict[int, str] = {}
+        self._retired_clean: Set[int] = set()
         self._stopping = False
 
     # ------------------------------------------------------------------ #
@@ -218,44 +240,55 @@ class ProcessWorkerPool(WorkerPool):
     def running(self) -> bool:
         return self._started
 
+    def _spawn_child(self, checkpoint: DetectorCheckpoint) -> None:
+        """Spawn one scoring child and append it to the active slots.
+
+        One task queue AND one result queue per child: no lock is ever
+        shared between two children, so a child killed mid-write (OOM,
+        operator SIGKILL) can corrupt only its own queues — the classic
+        shared-queue deadlock (a victim dying between ``send_bytes`` and
+        the write-lock release wedges every other writer forever) cannot
+        reach the survivors.
+        """
+        context = multiprocessing.get_context(self.start_method)
+        token = self._next_token
+        self._next_token += 1
+        task_queue = context.Queue()
+        result_queue = context.Queue()
+        process = context.Process(
+            target=_worker_main,
+            args=(
+                token,
+                self.service.detector.schema.name,
+                self.service.fast,
+                task_queue,
+                result_queue,
+            ),
+            name=f"serving-proc-{token}",
+            daemon=True,
+        )
+        process.start()
+        # The checkpoint travels on the task queue, not as a Process
+        # argument — see _worker_main on why large spawn args can hang.
+        task_queue.put(("init", checkpoint))
+        child = _Child(token, process, task_queue, result_queue)
+        with self._commit_cond:
+            self._slots.append(child)
+
     def start(self) -> "ProcessWorkerPool":
         """Spawn the children (each rehydrates the current detector from a
         checkpoint), start the collector thread and the age timer."""
         if self._started:
             return self
         checkpoint = DetectorCheckpoint.capture(self.service.detector)
-        schema_name = self.service.detector.schema.name
-        context = multiprocessing.get_context(self.start_method)
         self._shutdown.clear()
         self._stopping = False
         self._failed_workers = {}
-        # One task queue AND one result queue per child: no lock is ever
-        # shared between two children, so a child killed mid-write (OOM,
-        # operator SIGKILL) can corrupt only its own queues — the classic
-        # shared-queue deadlock (a victim dying between ``send_bytes`` and
-        # the write-lock release wedges every other writer forever) cannot
-        # reach the survivors.
-        self._result_queues = [context.Queue() for _ in range(self.num_workers)]
-        self._task_queues = [context.Queue() for _ in range(self.num_workers)]
-        self._processes = []
-        for worker_id in range(self.num_workers):
-            process = context.Process(
-                target=_worker_main,
-                args=(
-                    worker_id,
-                    schema_name,
-                    self.service.fast,
-                    self._task_queues[worker_id],
-                    self._result_queues[worker_id],
-                ),
-                name=f"serving-proc-{worker_id}",
-                daemon=True,
-            )
-            process.start()
-            self._processes.append(process)
-            # The checkpoint travels on the task queue, not as a Process
-            # argument — see _worker_main on why large spawn args can hang.
-            self._task_queues[worker_id].put(("init", checkpoint))
+        self._retired_clean = set()
+        self._slots = []
+        self._graveyard = []
+        for _ in range(self.num_workers):
+            self._spawn_child(checkpoint)
         self._collector = threading.Thread(
             target=self._collector_loop, name="serving-proc-collector", daemon=True
         )
@@ -281,14 +314,15 @@ class ProcessWorkerPool(WorkerPool):
             self._started = False  # refuse new dispatches from here on
             with self._commit_cond:
                 self._stopping = True
-        for task_queue in self._task_queues:
-            task_queue.put(("stop",))
+                children = list(self._slots) + list(self._graveyard)
+        for child in self._slots:
+            child.task_queue.put(("stop",))  # graveyard children already have one
         deadline = time.monotonic() + self.handshake_timeout
-        for process in self._processes:
-            process.join(timeout=max(deadline - time.monotonic(), 0.1))
-            if process.is_alive():
-                process.terminate()
-                process.join(timeout=5.0)
+        for child in children:
+            child.process.join(timeout=max(deadline - time.monotonic(), 0.1))
+            if child.process.is_alive():
+                child.process.terminate()
+                child.process.join(timeout=5.0)
         if self._collector is not None:
             self._collector.join()
             self._collector = None
@@ -307,19 +341,18 @@ class ProcessWorkerPool(WorkerPool):
             )
             for sequence in orphaned:
                 self._commit(sequence, None)
-        for task_queue in self._task_queues:
+        for child in children:
             # A child that died before draining its queue leaves the feeder
             # thread blocked mid-write; without the cancel, the interpreter's
             # atexit handler would join that feeder forever.  On the clean
             # path children drain everything up to the stop sentinel first,
             # so nothing that matters is ever discarded.
-            task_queue.cancel_join_thread()
-            task_queue.close()
-        for result_queue in self._result_queues:
-            result_queue.close()
-        self._task_queues = []
-        self._result_queues = []
-        self._processes = []
+            child.task_queue.cancel_join_thread()
+            child.task_queue.close()
+            child.result_queue.close()
+        with self._commit_cond:
+            self._slots = []
+            self._graveyard = []
         self._raise_pending_error()
 
     # ------------------------------------------------------------------ #
@@ -331,7 +364,9 @@ class ProcessWorkerPool(WorkerPool):
         # be scored nor re-queued — it would vanish from the accounting.
         super()._require_running()
         with self._commit_cond:
-            if len(self._failed_workers) >= self.num_workers:
+            if all(
+                child.token in self._failed_workers for child in self._slots
+            ):
                 raise RuntimeError(
                     "every worker process died: "
                     + "; ".join(self._failed_workers.values())
@@ -348,18 +383,18 @@ class ProcessWorkerPool(WorkerPool):
         # race window after _require_running, the task lands on a dead
         # child's queue and the orphan sweep commits it as an errored hole
         # — records are never silently dropped.
-        worker_id = sequence % self.num_workers
         with self._commit_cond:
-            if worker_id in self._failed_workers:
+            child = self._slots[sequence % len(self._slots)]
+            if child.token in self._failed_workers:
                 alive = [
                     candidate
-                    for candidate in range(self.num_workers)
-                    if candidate not in self._failed_workers
+                    for candidate in self._slots
+                    if candidate.token not in self._failed_workers
                 ]
                 if alive:
-                    worker_id = alive[sequence % len(alive)]
-            self._inflight[sequence] = (records, worker_id)
-        self._task_queues[worker_id].put(
+                    child = alive[sequence % len(alive)]
+            self._inflight[sequence] = (records, child.token)
+        child.task_queue.put(
             (
                 "score",
                 sequence,
@@ -381,18 +416,28 @@ class ProcessWorkerPool(WorkerPool):
         that child's replies; its in-flight work is failed by the sweep and
         every other worker keeps committing.
         """
-        result_queues = list(self._result_queues)
-        readers = {queue._reader: queue for queue in result_queues}
+        readers: dict = {}
+        dropped: set = set()
         while True:
+            # Re-snapshot the children each pass: resize() appends fresh
+            # slots and moves retiring children to the graveyard while the
+            # collector runs, and their replies must keep flowing either way.
+            with self._commit_cond:
+                children = list(self._slots) + list(self._graveyard)
+                stopping = self._stopping
+            for child in children:
+                reader = child.result_queue._reader
+                if reader not in readers and reader not in dropped:
+                    readers[reader] = child.result_queue
             ready = multiprocessing.connection.wait(
                 list(readers), timeout=_POLL_INTERVAL
             )
             if not ready:
-                with self._commit_cond:
-                    stopping = self._stopping
                 if stopping:
-                    if all(p.exitcode is not None for p in self._processes):
-                        self._drain_remaining(result_queues)
+                    if all(c.process.exitcode is not None for c in children):
+                        self._drain_remaining(
+                            [child.result_queue for child in children]
+                        )
                         return
                 else:
                     self._check_children()
@@ -402,11 +447,20 @@ class ProcessWorkerPool(WorkerPool):
                     message = readers[reader].get_nowait()
                 except queue_module.Empty:
                     continue
+                except EOFError:
+                    # The owner exited and its pipe is fully drained — the
+                    # normal end of a cleanly retired graveyard child.  An
+                    # *unexpected* death is diagnosed by exitcode in
+                    # _check_children; nothing is lost by dropping the pipe.
+                    del readers[reader]
+                    dropped.add(reader)
+                    continue
                 except BaseException as exc:  # a queue torn by a dead child
                     # Drop the poisoned queue; the owner is dead or dying,
                     # so the next liveness check sweeps its in-flight work.
                     self._record_error(exc)
                     del readers[reader]
+                    dropped.add(reader)
                     continue
                 self._handle_message(message)
 
@@ -498,20 +552,43 @@ class ProcessWorkerPool(WorkerPool):
         child would otherwise block join()/flush() forever.  Each in-flight
         sequence remembers which child it was dispatched to, so the orphans
         are exactly computable — including any dispatched to an
-        already-failed worker through the liveness-check race window."""
-        for worker_id, process in enumerate(self._processes):
-            if process.exitcode is None or worker_id in self._failed_workers:
+        already-failed worker through the liveness-check race window.
+
+        A graveyard child exiting with code 0 is the *expected* end of a
+        clean retirement (its stop sentinel drained behind its last batch);
+        any other exit — an active slot exiting at all, or a retiring child
+        exiting non-zero — is a failure and its in-flight work is swept.
+        """
+        with self._commit_cond:
+            active = list(self._slots)
+            graveyard = list(self._graveyard)
+        for child, retiring in [(c, False) for c in active] + [
+            (c, True) for c in graveyard
+        ]:
+            if (
+                child.process.exitcode is None
+                or child.token in self._failed_workers
+                or child.token in self._retired_clean
+            ):
+                continue
+            with self._commit_cond:
+                stopping = self._stopping
+            if (retiring or stopping) and child.process.exitcode == 0:
+                # Expected ends: a retiring child drained its stop sentinel,
+                # or an active child obeyed the shutdown stop during close().
+                with self._commit_cond:
+                    self._retired_clean.add(child.token)
                 continue
             reason = (
-                f"worker process {worker_id} exited unexpectedly "
-                f"(exitcode {process.exitcode})"
+                f"worker process {child.token} exited unexpectedly "
+                f"(exitcode {child.process.exitcode})"
             )
             with self._commit_cond:
-                self._failed_workers[worker_id] = reason
+                self._failed_workers[child.token] = reason
                 # A swap ack that will never arrive must not hang the
                 # swapper; a worker that already acked owes nothing.
-                if worker_id in self._swap_awaiting:
-                    self._swap_awaiting.discard(worker_id)
+                if child.token in self._swap_awaiting:
+                    self._swap_awaiting.discard(child.token)
                     self._swap_failures.append(reason)
                 self._commit_cond.notify_all()
             self._record_error(RuntimeError(reason))
@@ -529,6 +606,45 @@ class ProcessWorkerPool(WorkerPool):
                 self._inflight.pop(sequence)
         for sequence in orphaned:
             self._commit(sequence, None)
+
+    # ------------------------------------------------------------------ #
+    # Autoscaling
+    # ------------------------------------------------------------------ #
+    def resize(self, num_workers: int) -> None:
+        """Grow or shrink the child-process fleet on batch boundaries.
+
+        Growing spawns fresh children that rehydrate the *currently
+        serving* detector from a new checkpoint.  Shrinking retires the
+        trailing slots: each retiring child receives a stop sentinel behind
+        whatever batches it already owns (per-child queues are FIFO),
+        finishes them, replies and exits — nothing in flight is dropped,
+        and because every reply still commits through the reorder buffer in
+        submission order, reports stay bit-equal to a fixed-size run of the
+        same stream.
+        """
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        num_workers = int(num_workers)
+        with self._submit_lock:
+            if not self._started:
+                raise RuntimeError(
+                    f"{type(self).__name__} is not running; call start() "
+                    "before resize()"
+                )
+            if num_workers == self.num_workers:
+                return
+            if num_workers > self.num_workers:
+                checkpoint = DetectorCheckpoint.capture(self.service.detector)
+                for _ in range(num_workers - self.num_workers):
+                    self._spawn_child(checkpoint)
+            else:
+                with self._commit_cond:
+                    retiring = self._slots[num_workers:]
+                    del self._slots[num_workers:]
+                    self._graveyard.extend(retiring)
+                for child in retiring:
+                    child.task_queue.put(("stop",))
+            self.num_workers = num_workers
 
     # ------------------------------------------------------------------ #
     # Hot-swap
@@ -552,16 +668,19 @@ class ProcessWorkerPool(WorkerPool):
             )
             checkpoint = DetectorCheckpoint.capture(detector)
             with self._commit_cond:
-                # Only surviving children can acknowledge (join() above has
-                # already surfaced any worker death to the caller).
-                self._swap_awaiting = {
-                    worker_id
-                    for worker_id in range(self.num_workers)
-                    if worker_id not in self._failed_workers
-                }
+                # Only surviving *active* children can acknowledge (join()
+                # above has already surfaced any worker death to the caller;
+                # graveyard children are exiting and never score another
+                # batch, so they need no challenger).
+                recipients = [
+                    child
+                    for child in self._slots
+                    if child.token not in self._failed_workers
+                ]
+                self._swap_awaiting = {child.token for child in recipients}
                 self._swap_failures = []
-            for task_queue in self._task_queues:
-                task_queue.put(("swap", checkpoint))
+            for child in recipients:
+                child.task_queue.put(("swap", checkpoint))
         with self._commit_cond:
             acknowledged = self._commit_cond.wait_for(
                 lambda: not self._swap_awaiting, self.handshake_timeout

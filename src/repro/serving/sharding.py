@@ -193,6 +193,85 @@ class ShardedDetectionService:
         return cls(shards, ShardRouter(n_shards, "replica"))
 
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _pool_type(worker_backend: str):
+        """Resolve a worker-backend name to its pool class."""
+        if worker_backend == "process":
+            # Imported here: procpool pulls in the lifecycle checkpoint
+            # machinery, which imports this module back.
+            from .procpool import ProcessWorkerPool
+
+            return ProcessWorkerPool
+        if worker_backend == "thread":
+            return WorkerPool
+        raise ValueError(
+            f"unknown worker backend {worker_backend!r}; "
+            "choices: thread, process"
+        )
+
+    def open_pools(
+        self,
+        num_workers: int,
+        worker_backend: str = "thread",
+        result_callbacks: Optional[Sequence[Callable[[BatchResult], None]]] = None,
+    ) -> List[WorkerPool]:
+        """Start one worker pool per shard and return them, index-aligned.
+
+        The per-shard pool lifecycle seam shared by :meth:`run_stream` and
+        the fleet controller: ``result_callbacks`` (index-aligned when
+        given) become each pool's in-order committed-result hook.  The
+        caller owns the returned pools and must ``close()`` them.
+        """
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive to open pools")
+        if result_callbacks is not None and len(result_callbacks) != len(
+            self.shards
+        ):
+            raise ValueError("result_callbacks must be index-aligned with shards")
+        pool_type = self._pool_type(worker_backend)
+        return [
+            pool_type(
+                shard,
+                num_workers=num_workers,
+                result_callback=(
+                    result_callbacks[index] if result_callbacks else None
+                ),
+            ).start()
+            for index, shard in enumerate(self.shards)
+        ]
+
+    def swap_shard(
+        self,
+        index: int,
+        detector: PelicanDetector,
+        pool: Optional[WorkerPool] = None,
+        carry_unknown_counts: bool = True,
+    ) -> PelicanDetector:
+        """Hot-swap one shard's engine; returns that shard's retired detector.
+
+        The per-shard addressing the staged rollout needs: unlike the
+        supervisor's fleet-wide swap, only shard ``index`` changes models.
+        When the shard is being driven through a worker pool, pass it so the
+        swap drains the pool's in-flight batches first (and, for a process
+        pool, re-ships the checkpoint to that shard's children).
+        """
+        if not 0 <= index < len(self.shards):
+            raise IndexError(
+                f"shard index {index} is outside [0, {len(self.shards)})"
+            )
+        if pool is not None:
+            if pool.service is not self.shards[index]:
+                raise ValueError(
+                    f"pool does not wrap shard {index} ({self.names[index]!r})"
+                )
+            return pool.swap_detector(
+                detector, carry_unknown_counts=carry_unknown_counts
+            )
+        return self.shards[index].swap_detector(
+            detector, carry_unknown_counts=carry_unknown_counts
+        )
+
+    # ------------------------------------------------------------------ #
     def submit(self, records: TrafficRecords) -> List[BatchResult]:
         """Route and enqueue records; return every batch that became due."""
         results: List[BatchResult] = []
@@ -293,11 +372,7 @@ class ShardedDetectionService:
         score the shard's batches off the GIL.  Otherwise shards score
         inline on the calling thread.
         """
-        if worker_backend not in ("thread", "process"):
-            raise ValueError(
-                f"unknown worker backend {worker_backend!r}; "
-                "choices: thread, process"
-            )
+        self._pool_type(worker_backend)  # fail fast on unknown backends
         # Records queued on a shard before the stream belong to no phase:
         # clear them out so every attribution FIFO starts aligned with its
         # shard's batcher.
@@ -312,19 +387,13 @@ class ShardedDetectionService:
         ]
         pools: Optional[List[WorkerPool]] = None
         if num_workers > 0:
-            if worker_backend == "process":
-                # Imported here: procpool pulls in the lifecycle checkpoint
-                # machinery, which imports this module back.
-                from .procpool import ProcessWorkerPool as pool_type
-            else:
-                pool_type = WorkerPool
-            pools = [
-                pool_type(
-                    shard, num_workers=num_workers,
-                    result_callback=attributor.attribute,
-                ).start()
-                for shard, attributor in zip(self.shards, attributors)
-            ]
+            pools = self.open_pools(
+                num_workers,
+                worker_backend,
+                result_callbacks=[
+                    attributor.attribute for attributor in attributors
+                ],
+            )
         try:
             served = 0
             for stream_batch in stream:

@@ -26,14 +26,43 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterable, List, Optional
 
 from ..data.dataset import TrafficRecords
 from ..data.generator import StreamBatch
 from .service import BatchResult, DetectionService, PhaseAttributor, ServiceReport
 
-__all__ = ["WorkerPool"]
+__all__ = ["PoolStats", "WorkerPool"]
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """Live utilization snapshot of a worker pool (one lock-consistent read).
+
+    The fleet controller's autoscaler polls this every control tick; the
+    fields are chosen so a scaling decision needs no further pool access:
+
+    * ``workers`` — current worker count (the autoscaler's actuator state);
+    * ``queue_depth`` — records buffered in the micro-batcher, not yet
+      released as a batch;
+    * ``in_flight`` — batches dispatched to workers but not yet committed
+      through the reorder buffer;
+    * ``busy_fraction`` — in-flight batches per worker, clipped to 1.0: the
+      pool's instantaneous saturation (1.0 = every worker has work).
+    """
+
+    workers: int
+    queue_depth: int
+    in_flight: int
+    busy_fraction: float
+
+    @property
+    def backlog_per_worker(self) -> float:
+        """In-flight batches plus queued records' worth, per worker."""
+        return (self.in_flight + (1.0 if self.queue_depth else 0.0)) / max(
+            self.workers, 1
+        )
 
 
 class WorkerPool:
@@ -91,6 +120,9 @@ class WorkerPool:
         self._result_callback = result_callback
         self._errors: List[BaseException] = []
         self._executor: Optional[ThreadPoolExecutor] = None
+        # Executors replaced by resize(): their already-queued batches still
+        # score and commit through the reorder buffer; close() joins them.
+        self._retired_executors: List[ThreadPoolExecutor] = []
         self._timer: Optional[threading.Thread] = None
         self._shutdown = threading.Event()
         self._streaming = False
@@ -137,6 +169,9 @@ class WorkerPool:
         self._stop_timer()
         with self._submit_lock:
             executor, self._executor = self._executor, None
+            retired, self._retired_executors = self._retired_executors, []
+        for old in retired:
+            old.shutdown(wait=True)
         if executor is not None:
             executor.shutdown(wait=True)
         self._raise_pending_error()
@@ -225,6 +260,55 @@ class WorkerPool:
                     except BaseException as exc:  # keep the buffer draining
                         self._errors.append(exc)
             self._commit_cond.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # Autoscaling seams
+    # ------------------------------------------------------------------ #
+    def resize(self, num_workers: int) -> None:
+        """Change the worker count without disturbing in-flight batches.
+
+        Batches already dispatched keep running on the previous executor
+        (retired with ``shutdown(wait=False)`` and joined at close); batches
+        dispatched after the call land on the replacement.  Because every
+        result still commits through the same reorder buffer in submission
+        order, a resize is invisible to the reports — only wall-clock
+        concurrency changes.  This is the actuator the fleet controller's
+        autoscaler drives; it works mid-stream (the controller resizes pools
+        it is feeding via :meth:`submit`).
+        """
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        num_workers = int(num_workers)
+        with self._submit_lock:
+            if not self.running:
+                raise RuntimeError(
+                    f"{type(self).__name__} is not running; call start() "
+                    "before resize()"
+                )
+            if num_workers == self.num_workers:
+                return
+            old = self._executor
+            self._executor = ThreadPoolExecutor(
+                max_workers=num_workers, thread_name_prefix="serving-worker"
+            )
+            self.num_workers = num_workers
+            old.shutdown(wait=False)
+            self._retired_executors.append(old)
+
+    def stats(self) -> PoolStats:
+        """One consistent :class:`PoolStats` snapshot (the autoscaler input)."""
+        with self._submit_lock:
+            workers = self.num_workers
+            queue_depth = self.service.batcher.pending_count
+            dispatched = self._next_sequence
+        with self._commit_cond:
+            in_flight = max(dispatched - self._next_commit, 0)
+        return PoolStats(
+            workers=workers,
+            queue_depth=queue_depth,
+            in_flight=in_flight,
+            busy_fraction=min(in_flight, workers) / workers,
+        )
 
     # ------------------------------------------------------------------ #
     # Public API (mirrors the synchronous service)

@@ -146,8 +146,8 @@ class TestProcessPoolBitEquality:
             pool.submit(batches[0].records)
             pool.submit(batches[1].records)
             pool.join()  # both children demonstrably serving
-            pool._processes[0].terminate()
-            pool._processes[0].join()
+            pool._slots[0].process.terminate()
+            pool._slots[0].process.join()
             time_module.sleep(0.3)  # let the liveness check diagnose it
             with pytest.raises(RuntimeError, match="exited unexpectedly"):
                 for stream_batch in batches[2:]:

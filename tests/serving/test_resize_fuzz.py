@@ -1,0 +1,172 @@
+"""Seeded fuzz test for live pool ``resize()`` under load.
+
+The autoscaler's correctness claim is that resizing a pool mid-stream is
+invisible in every report: workers spawn and retire only on batch
+boundaries while the reorder buffer keeps committing in submission order.
+Each seeded schedule interleaves randomly sized submissions with random
+grow/shrink resizes (and occasional mid-stream flushes) on a stub detector
+with randomised per-batch scoring delays, then asserts the report is
+record-for-record equal to a fixed-size synchronous run of the identical
+submissions.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.data import load_nslkdd
+from repro.preprocessing.pipeline import IDSPreprocessor
+from repro.serving import DetectionService, ProcessWorkerPool, WorkerPool
+
+pytestmark = pytest.mark.timeout(300)
+
+N_SCHEDULES = 60
+MAX_DELAY = 0.002  # seconds; enough to shuffle commit order thoroughly
+
+
+class _StubNetwork:
+    """Deterministic per-record scorer with injectable per-batch delays
+    (same contract as the worker-pool fuzz harness: predictions are a hash
+    of each record's feature sum, stable under any batch grouping)."""
+
+    def __init__(self, num_classes, delays=None):
+        self.num_classes = num_classes
+        self._delays = list(delays) if delays is not None else []
+        self._lock = threading.Lock()
+
+    def predict(self, inputs, batch_size=None, fast=False):
+        with self._lock:
+            delay = self._delays.pop() if self._delays else 0.0
+        if delay:
+            time.sleep(delay)
+        sums = np.asarray(inputs).reshape(len(inputs), -1).sum(axis=1)
+        classes = np.abs((sums * 1e6).astype(np.int64)) % self.num_classes
+        probabilities = np.zeros((len(inputs), self.num_classes))
+        probabilities[np.arange(len(inputs)), classes] = 1.0
+        return probabilities
+
+
+class _StubDetector:
+    def __init__(self, preprocessor, delays=None):
+        self.preprocessor = preprocessor
+        self.schema = preprocessor.schema
+        self.network = _StubNetwork(
+            num_classes=len(preprocessor.label_encoder.classes_), delays=delays
+        )
+
+    @property
+    def is_fitted(self):
+        return True
+
+
+@pytest.fixture(scope="module")
+def fuzz_traffic():
+    return load_nslkdd(n_records=180, seed=23)
+
+
+@pytest.fixture(scope="module")
+def fitted_preprocessor(fuzz_traffic):
+    return IDSPreprocessor(fuzz_traffic.schema).fit(fuzz_traffic)
+
+
+def _submissions(traffic, rng):
+    cuts, start = [], 0
+    while start < len(traffic):
+        size = int(rng.integers(1, 51))
+        cuts.append(traffic.subset(range(start, min(start + size, len(traffic)))))
+        start += size
+    return cuts
+
+
+def _service(preprocessor, delays=None):
+    return DetectionService(
+        _StubDetector(preprocessor, delays=delays),
+        max_batch_size=48,
+        flush_interval=1e9,  # only size-triggered drains + explicit flushes
+        window=1 << 20,
+    )
+
+
+def _report_row(service):
+    report = service.report()
+    rolling = report.rolling
+    return (
+        report.records, report.batches,
+        rolling.tp, rolling.tn, rolling.fp, rolling.fn,
+    )
+
+
+def test_resize_under_load_fuzz(fitted_preprocessor, fuzz_traffic):
+    """~60 random interleavings of submit / resize / flush: every schedule
+    must report record-for-record equal to the fixed-size sync run."""
+    failures = []
+    for schedule in range(N_SCHEDULES):
+        rng = np.random.default_rng(1_000 + schedule)
+        submissions = _submissions(fuzz_traffic, rng)
+        delays = rng.uniform(0.0, MAX_DELAY, size=len(fuzz_traffic)).tolist()
+
+        # Pre-draw the action schedule so the sync run can mirror the
+        # flush points exactly (a mid-stream flush drains a partial batch,
+        # which legitimately changes the batch split).
+        actions = []
+        for _ in submissions:
+            roll = rng.random()
+            if roll < 0.4:
+                actions.append(("resize", int(rng.integers(1, 6))))
+            elif roll < 0.5:
+                actions.append(("flush", None))
+            else:
+                actions.append(("none", None))
+
+        sync_service = _service(fitted_preprocessor)
+        for records, (action, _) in zip(submissions, actions):
+            sync_service.submit(records)
+            if action == "flush":
+                sync_service.flush()
+        sync_service.flush()
+
+        pool_service = _service(fitted_preprocessor, delays=delays)
+        with WorkerPool(pool_service, num_workers=1, timer_interval=0) as pool:
+            for records, (action, target) in zip(submissions, actions):
+                pool.submit(records)
+                if action == "resize":
+                    pool.resize(target)  # grow or shrink under load
+                elif action == "flush":
+                    pool.flush()  # drain mid-stream, then keep serving
+            pool.flush()
+
+        if _report_row(pool_service) != _report_row(sync_service):
+            failures.append(
+                f"schedule {schedule}: {_report_row(pool_service)} != "
+                f"{_report_row(sync_service)}"
+            )
+    assert not failures, "\n".join(failures[:10])
+
+
+def test_process_pool_resize_keeps_counts_equal(detector, traffic):
+    """The process backend's resize: children spawn from a checkpoint and
+    retire through the graveyard, and the report still equals sync."""
+    sync_service = DetectionService(
+        detector, max_batch_size=32, flush_interval=0.0, window=1 << 20
+    )
+    for start in range(0, len(traffic), 50):
+        sync_service.submit(
+            traffic.subset(range(start, min(start + 50, len(traffic))))
+        )
+    sync_service.flush()
+
+    pool_service = DetectionService(
+        detector, max_batch_size=32, flush_interval=0.0, window=1 << 20
+    )
+    sizes = [2, 3, 1, 2]
+    with ProcessWorkerPool(pool_service, num_workers=1, timer_interval=0) as pool:
+        for step, start in enumerate(range(0, len(traffic), 50)):
+            pool.submit(
+                traffic.subset(range(start, min(start + 50, len(traffic))))
+            )
+            pool.resize(sizes[step % len(sizes)])
+        pool.flush()
+
+    assert _report_row(pool_service) == _report_row(sync_service)

@@ -158,6 +158,37 @@ class TestScenarioSuite:
     def test_lifecycle_is_off_by_default(self, results):
         assert "lifecycle" not in results
 
+    def test_fleet_control_entry_records_both_loops(self, detector):
+        """The suite's fleet-control run produces the overload row (scaling
+        events, counts equal to the uncontrolled run) and the rollout row
+        (promotion, per-stage swaps, stage timings)."""
+        suite = ScenarioSuite(
+            {"nsl-kdd": detector}, batch_size=32, seed=0,
+            scenarios={}, include_fleet=False,
+            include_fleet_control=True,
+        )
+        results = suite.run()
+        entry = results["fleet_control"]
+
+        overload = entry["overload"]
+        assert overload["report"]["records"] == overload["total_records"]
+        assert overload["counts_equal_uncontrolled"]
+        assert overload["scaling_events"] == overload["event_counts"].get(
+            "resize", 0
+        )
+
+        rollout = entry["rollout"]
+        assert rollout["report"]["records"] == rollout["total_records"]
+        assert rollout["promoted"] and rollout["completed"]
+        assert not rollout["rolled_back"]
+        assert rollout["event_counts"]["swap"] == 2
+        assert len(rollout["stage_timings_s"]) == 1
+        kinds = [event["kind"] for event in rollout["events"]]
+        assert kinds[:2] == ["shadow-start", "promote"]
+
+    def test_fleet_control_is_off_by_default(self, results):
+        assert "fleet_control" not in results
+
 
 # ---------------------------------------------------------------------- #
 # Tier-1 cross-model smoke: every preset, sync vs worker-pool, bit-equal
