@@ -12,9 +12,10 @@ Division of labour:
   :class:`~repro.serving.lifecycle.DetectorCheckpoint` at startup (weights,
   buffers, preprocessor vocabularies and scaler — the restored
   ``predict(fast=True)`` is bitwise-equal to the parent's), then loops:
-  micro-batches arrive as **raw arrays** (numeric matrix, categorical
-  columns, labels), are preprocessed and scored in the child, and the
-  predicted class indices travel back with the measured scoring latency and
+  micro-batches arrive over the pool's :class:`~repro.serving.transport.Transport`
+  (pickled arrays on the queue transport, preallocated shared-memory slots
+  on the shm transport), are preprocessed and scored in the child, and the
+  predicted class indices travel back with the measured scoring time and
   the batch's unknown-categorical tallies;
 * the **parent** keeps every piece of mutable serving state — the
   micro-batcher, the rolling/throughput monitors, phase attribution, the
@@ -22,18 +23,27 @@ Division of labour:
   commits results through the :class:`WorkerPool` reorder buffer, strictly
   in submission order.
 
-Because the child's detector is scoring-identical and all accounting stays
-in the parent on the in-order commit path, every :class:`ServiceReport`
-produced through a process pool is record-for-record identical to the
-synchronous run — the guarantee the scenario suite and the tier-1 smoke
-assert bit for bit.
+Because the child's detector is scoring-identical, the transport decodes
+batches string-for-string identically (see :mod:`repro.serving.transport`),
+and all accounting stays in the parent on the in-order commit path, every
+:class:`ServiceReport` produced through a process pool is
+record-for-record identical to the synchronous run — the guarantee the
+scenario suite and the tier-1 smoke assert bit for bit, on both transports.
+
+Latency accounting: the committed :class:`BatchResult` carries the
+parent-measured round trip — dispatch to collected reply, on the service
+clock — so the transport's serialization/IPC cost is *visible* in the
+latency columns (that is the number the shm data plane is built to cut).
+The child's pure scoring time still travels back in the reply for the
+transports' result contract.
 
 Hot-swap: :meth:`ProcessWorkerPool.swap_detector` drains the in-flight
 batches, swaps the parent engine, then re-ships the challenger's checkpoint
 to every child and waits for their acknowledgements.  Per-child task queues
-are FIFO, so any batch dispatched after the swap is scored by the new model
-— the same batch-boundary semantics as the in-process swap, which is what
-keeps a drift-supervised run's counts equal to a drain-stop-restart run.
+are FIFO on every transport, so any batch dispatched after the swap is
+scored by the new model — the same batch-boundary semantics as the
+in-process swap, which is what keeps a drift-supervised run's counts equal
+to a drain-stop-restart run.
 
 Start method: ``"spawn"`` by default — fork would duplicate the parent's
 running threads (age timers, other pools, test watchdogs) into the child
@@ -57,7 +67,8 @@ from ..data.dataset import TrafficRecords
 from ..data.schema import get_schema
 from .lifecycle.checkpoint import DetectorCheckpoint
 from .service import BatchResult, CachedPreprocessor, DetectionService
-from .workers import WorkerPool
+from .transport import Channel, child_endpoint, resolve_transport
+from .workers import PoolStats, WorkerPool
 
 __all__ = ["ProcessWorkerPool"]
 
@@ -68,7 +79,7 @@ _POLL_INTERVAL = 0.1
 
 @dataclass
 class _Child:
-    """One child scoring process and its private queues.
+    """One child scoring process and its transport channel.
 
     ``token`` is unique for the pool's whole lifetime — slot indices are
     reused by ``resize()`` (shrink then grow), so everything keyed per child
@@ -78,11 +89,10 @@ class _Child:
 
     token: int
     process: "multiprocessing.process.BaseProcess" = field(repr=False)
-    task_queue: object = field(repr=False)
-    result_queue: object = field(repr=False)
+    channel: Channel = field(repr=False)
 
 
-def _worker_main(worker_id, schema_name, fast, task_queue, result_queue):
+def _worker_main(worker_id, schema_name, fast, endpoint_spec):
     """Child-process scoring loop (module-level: spawn pickles it by name).
 
     The ``Process`` arguments stay deliberately tiny: spawn writes them to
@@ -92,14 +102,17 @@ def _worker_main(worker_id, schema_name, fast, task_queue, result_queue):
     the first task-queue message (queue puts run on a daemon feeder thread
     and never block the caller).
 
-    Messages on ``task_queue`` (FIFO per child):
+    ``endpoint_spec`` rebuilds the transport's child endpoint
+    (:func:`repro.serving.transport.child_endpoint`), which normalizes
+    every parent message to:
 
     * ``("init", checkpoint)`` — rehydrate the serving detector (always the
-      first message); a failure replies
-      ``("init-error", worker_id, traceback_text)`` and exits the child;
-    * ``("score", sequence, numeric, categorical, labels)`` — rebuild the
-      records, preprocess + predict, reply
-      ``("scored", sequence, class_indices, latency, unknown_delta)``;
+      first message); a failure replies ``init-error`` and exits the child;
+    * ``("score", sequence, load)`` — ``load(schema)`` materializes the
+      :class:`TrafficRecords` (unpickled payload or decoded shm slot);
+      preprocess + predict, reply via ``send_scored`` (class indices +
+      scoring time + unknown tallies, written to the slot's result region
+      on the shm transport);
     * ``("swap", checkpoint)`` — rehydrate the replacement detector, reply
       ``("swapped", worker_id, error_text_or_None)``;
     * ``("stop",)`` — exit the loop.
@@ -109,11 +122,22 @@ def _worker_main(worker_id, schema_name, fast, task_queue, result_queue):
     the next join/flush/close.
     """
     schema = get_schema(schema_name)
+    endpoint = child_endpoint(endpoint_spec)
+    try:
+        _worker_loop(endpoint, schema, fast, worker_id)
+    finally:
+        # Release the endpoint's shm mapping before interpreter teardown:
+        # live numpy exports would make SharedMemory.__del__'s mmap.close()
+        # raise (and log) BufferError during shutdown.
+        endpoint.close()
+
+
+def _worker_loop(endpoint, schema, fast, worker_id) -> None:
     detector = None
     pipeline = None
     unknown_seen: Dict[str, int] = {}
     while True:
-        message = task_queue.get()
+        message = endpoint.receive()
         kind = message[0]
         if kind == "stop":
             break
@@ -123,26 +147,21 @@ def _worker_main(worker_id, schema_name, fast, task_queue, result_queue):
                 pipeline = CachedPreprocessor(detector.preprocessor)
                 unknown_seen = {}
                 if kind == "swap":
-                    result_queue.put(("swapped", worker_id, None))
+                    endpoint.send_swapped(worker_id, None)
             except BaseException:
                 # A failed rehydration is fatal either way: limping on with
                 # the *retired* detector would silently skew the counts, so
                 # the child reports and exits — the parent's liveness check
                 # then excludes it from dispatch.
                 if kind == "swap":
-                    result_queue.put(("swapped", worker_id, traceback.format_exc()))
+                    endpoint.send_swapped(worker_id, traceback.format_exc())
                 else:
-                    result_queue.put(("init-error", worker_id, traceback.format_exc()))
+                    endpoint.send_init_error(worker_id, traceback.format_exc())
                 raise SystemExit(1)
             continue
         sequence = message[1]
         try:
-            records = TrafficRecords(
-                schema=schema,
-                numeric=message[2],
-                categorical=message[3],
-                labels=message[4],
-            )
+            records = message[2](schema)
             started = time.perf_counter()
             inputs = pipeline.transform_inputs(records)
             probabilities = detector.network.predict(
@@ -157,9 +176,9 @@ def _worker_main(worker_id, schema_name, fast, task_queue, result_queue):
                 if count != unknown_seen.get(column, 0)
             }
             unknown_seen = unknown_now
-            result_queue.put(("scored", sequence, predicted, latency, unknown_delta))
+            endpoint.send_scored(sequence, predicted, latency, unknown_delta)
         except BaseException:
-            result_queue.put(("error", sequence, traceback.format_exc()))
+            endpoint.send_error(sequence, traceback.format_exc())
 
 
 class ProcessWorkerPool(WorkerPool):
@@ -167,7 +186,7 @@ class ProcessWorkerPool(WorkerPool):
 
     Drop-in for :class:`WorkerPool`::
 
-        with ProcessWorkerPool(service, num_workers=4) as pool:
+        with ProcessWorkerPool(service, num_workers=4, transport="shm") as pool:
             report = pool.run_stream(stream)
 
     Parameters
@@ -190,6 +209,13 @@ class ProcessWorkerPool(WorkerPool):
     handshake_timeout:
         Seconds to wait for child swap acknowledgements (and for stragglers
         at close) before giving up with an error.
+    transport:
+        The parent↔child data plane: ``"queue"`` (pickled per-child queues,
+        the default and equivalence oracle) or ``"shm"`` (preallocated
+        shared-memory slot rings; only control tokens cross the queues) —
+        or a ready-made :class:`~repro.serving.transport.Transport`
+        instance for custom slot sizing.  See
+        :mod:`repro.serving.transport`.
     """
 
     def __init__(
@@ -200,6 +226,7 @@ class ProcessWorkerPool(WorkerPool):
         result_callback: Optional[Callable[[BatchResult], None]] = None,
         start_method: str = "spawn",
         handshake_timeout: float = 120.0,
+        transport="queue",
     ) -> None:
         super().__init__(
             service,
@@ -214,6 +241,9 @@ class ProcessWorkerPool(WorkerPool):
             )
         self.start_method = start_method
         self.handshake_timeout = float(handshake_timeout)
+        # Resolved eagerly so an unknown transport name fails at
+        # construction, not at start() deep inside a stream run.
+        self.transport = resolve_transport(transport, service)
         self._started = False
         # Active scoring slots (dispatch routes sequence % len(_slots)) and
         # the graveyard: children retired by resize() that are still
@@ -223,15 +253,22 @@ class ProcessWorkerPool(WorkerPool):
         self._graveyard: List[_Child] = []
         self._next_token = 0
         self._collector: Optional[threading.Thread] = None
-        # Guarded by _commit_cond: (records, assigned child token) awaiting
-        # a child's reply, the tokens still owing a swap ack, tokens already
-        # diagnosed as dead, and tokens that retired cleanly.
-        self._inflight: Dict[int, Tuple[TrafficRecords, int]] = {}
+        # Guarded by _commit_cond: (records, assigned child token, dispatch
+        # stamp) awaiting a child's reply, the tokens still owing a swap
+        # ack, tokens already diagnosed as dead, and tokens that retired
+        # cleanly.
+        self._inflight: Dict[int, Tuple[TrafficRecords, int, float]] = {}
         self._swap_awaiting: Set[int] = set()
         self._swap_failures: List[str] = []
         self._failed_workers: Dict[int, str] = {}
         self._retired_clean: Set[int] = set()
         self._stopping = False
+        # Data-plane counters folded in from channels at close(), so
+        # transport_counters() stays meaningful after run_stream() (which
+        # closes the pool) has returned.
+        self._transport_totals: Dict[str, int] = {
+            "slot_batches": 0, "inline_batches": 0,
+        }
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -243,26 +280,25 @@ class ProcessWorkerPool(WorkerPool):
     def _spawn_child(self, checkpoint: DetectorCheckpoint) -> None:
         """Spawn one scoring child and append it to the active slots.
 
-        One task queue AND one result queue per child: no lock is ever
-        shared between two children, so a child killed mid-write (OOM,
-        operator SIGKILL) can corrupt only its own queues — the classic
-        shared-queue deadlock (a victim dying between ``send_bytes`` and
-        the write-lock release wedges every other writer forever) cannot
-        reach the survivors.
+        The transport opens one private channel per child — one task queue
+        AND one result queue (plus, on the shm transport, one slot ring):
+        no lock is ever shared between two children, so a child killed
+        mid-write (OOM, operator SIGKILL) can corrupt only its own channel
+        — the classic shared-queue deadlock (a victim dying between
+        ``send_bytes`` and the write-lock release wedges every other writer
+        forever) cannot reach the survivors.
         """
         context = multiprocessing.get_context(self.start_method)
         token = self._next_token
         self._next_token += 1
-        task_queue = context.Queue()
-        result_queue = context.Queue()
+        channel = self.transport.open_channel(context)
         process = context.Process(
             target=_worker_main,
             args=(
                 token,
                 self.service.detector.schema.name,
                 self.service.fast,
-                task_queue,
-                result_queue,
+                channel.child_spec(),
             ),
             name=f"serving-proc-{token}",
             daemon=True,
@@ -270,8 +306,8 @@ class ProcessWorkerPool(WorkerPool):
         process.start()
         # The checkpoint travels on the task queue, not as a Process
         # argument — see _worker_main on why large spawn args can hang.
-        task_queue.put(("init", checkpoint))
-        child = _Child(token, process, task_queue, result_queue)
+        channel.send_init(checkpoint)
+        child = _Child(token, process, channel)
         with self._commit_cond:
             self._slots.append(child)
 
@@ -304,6 +340,8 @@ class ProcessWorkerPool(WorkerPool):
         after every batch already dispatched to that child — close() waits
         for those results like the thread pool does.  Records still queued
         below the batch-size trigger stay in the batcher (flush() first).
+        Every channel is shut down at the end — queues closed, slot
+        segments unlinked — so no transport resource outlives the pool.
         """
         self._shutdown.set()
         self._stop_timer()
@@ -316,7 +354,7 @@ class ProcessWorkerPool(WorkerPool):
                 self._stopping = True
                 children = list(self._slots) + list(self._graveyard)
         for child in self._slots:
-            child.task_queue.put(("stop",))  # graveyard children already have one
+            child.channel.send_stop()  # graveyard children already have one
         deadline = time.monotonic() + self.handshake_timeout
         for child in children:
             child.process.join(timeout=max(deadline - time.monotonic(), 0.1))
@@ -342,14 +380,9 @@ class ProcessWorkerPool(WorkerPool):
             for sequence in orphaned:
                 self._commit(sequence, None)
         for child in children:
-            # A child that died before draining its queue leaves the feeder
-            # thread blocked mid-write; without the cancel, the interpreter's
-            # atexit handler would join that feeder forever.  On the clean
-            # path children drain everything up to the stop sentinel first,
-            # so nothing that matters is ever discarded.
-            child.task_queue.cancel_join_thread()
-            child.task_queue.close()
-            child.result_queue.close()
+            child.channel.shutdown()
+            self._transport_totals["slot_batches"] += child.channel.slot_batches
+            self._transport_totals["inline_batches"] += child.channel.inline_batches
         with self._commit_cond:
             self._slots = []
             self._graveyard = []
@@ -393,28 +426,20 @@ class ProcessWorkerPool(WorkerPool):
                 ]
                 if alive:
                     child = alive[sequence % len(alive)]
-            self._inflight[sequence] = (records, child.token)
-        child.task_queue.put(
-            (
-                "score",
-                sequence,
-                records.numeric,
-                dict(records.categorical),
-                records.labels,
-            )
-        )
+            self._inflight[sequence] = (records, child.token, self.service.clock())
+        child.channel.send_score(sequence, records)
 
     def _collector_loop(self) -> None:
         """Parent-side sink: turn child replies into in-order commits.
 
-        Multiplexes the per-child result queues (``connection.wait`` on
-        their read pipes).  Exits once close() has flagged ``_stopping``,
-        every child has exited *and* a final drain has emptied the queues —
-        a child can flush its last results into its pipe in the instant
+        Multiplexes the per-child channels (``connection.wait`` on their
+        reply pipes).  Exits once close() has flagged ``_stopping``, every
+        child has exited *and* a final drain has emptied the channels — a
+        child can flush its last results into its pipe in the instant
         before its exit code becomes visible, and those must not be
-        abandoned.  A queue a dying child corrupted mid-write poisons only
-        that child's replies; its in-flight work is failed by the sweep and
-        every other worker keeps committing.
+        abandoned.  A channel a dying child corrupted mid-write poisons
+        only that child's replies; its in-flight work is failed by the
+        sweep and every other worker keeps committing.
         """
         readers: dict = {}
         dropped: set = set()
@@ -426,9 +451,9 @@ class ProcessWorkerPool(WorkerPool):
                 children = list(self._slots) + list(self._graveyard)
                 stopping = self._stopping
             for child in children:
-                reader = child.result_queue._reader
+                reader = child.channel.reply_reader
                 if reader not in readers and reader not in dropped:
-                    readers[reader] = child.result_queue
+                    readers[reader] = child.channel
             ready = multiprocessing.connection.wait(
                 list(readers), timeout=_POLL_INTERVAL
             )
@@ -436,7 +461,7 @@ class ProcessWorkerPool(WorkerPool):
                 if stopping:
                     if all(c.process.exitcode is not None for c in children):
                         self._drain_remaining(
-                            [child.result_queue for child in children]
+                            [child.channel for child in children]
                         )
                         return
                 else:
@@ -444,7 +469,7 @@ class ProcessWorkerPool(WorkerPool):
                 continue
             for reader in ready:
                 try:
-                    message = readers[reader].get_nowait()
+                    message = readers[reader].receive_nowait()
                 except queue_module.Empty:
                     continue
                 except EOFError:
@@ -455,8 +480,8 @@ class ProcessWorkerPool(WorkerPool):
                     del readers[reader]
                     dropped.add(reader)
                     continue
-                except BaseException as exc:  # a queue torn by a dead child
-                    # Drop the poisoned queue; the owner is dead or dying,
+                except BaseException as exc:  # a channel torn by a dead child
+                    # Drop the poisoned channel; the owner is dead or dying,
                     # so the next liveness check sweeps its in-flight work.
                     self._record_error(exc)
                     del readers[reader]
@@ -464,18 +489,18 @@ class ProcessWorkerPool(WorkerPool):
                     continue
                 self._handle_message(message)
 
-    def _drain_remaining(self, result_queues) -> None:
-        """Consume every reply already flushed to the result queues.
+    def _drain_remaining(self, channels) -> None:
+        """Consume every reply already flushed to the reply pipes.
 
         Called once all children have exited: their queue feeder threads
         flushed before exit, so anything in flight is in the pipes now and
-        one pass down to Empty per queue collects it all.
+        one pass down to Empty per channel collects it all.
         """
-        for result_queue in result_queues:
+        for channel in channels:
             while True:
                 try:
-                    message = result_queue.get(timeout=_POLL_INTERVAL)
-                except BaseException:  # Empty, or a queue torn down mid-drain
+                    message = channel.receive(timeout=_POLL_INTERVAL)
+                except BaseException:  # Empty, or a channel torn down mid-drain
                     break
                 self._handle_message(message)
 
@@ -511,7 +536,7 @@ class ProcessWorkerPool(WorkerPool):
                 )
             )
 
-    def _commit_scored(self, sequence, predicted, latency, unknown_delta) -> None:
+    def _commit_scored(self, sequence, predicted, child_latency, unknown_delta) -> None:
         """Assemble the BatchResult the synchronous path would have built.
 
         The child did preprocessing + inference; labels are encoded (and
@@ -519,8 +544,10 @@ class ProcessWorkerPool(WorkerPool):
         child's unknown-categorical tallies fold into the parent's counters
         so the drift report matches a synchronous run exactly.  ``finished``
         is stamped with the parent service's clock — the only timeline the
-        throughput monitor knows — while the latency is the child's measured
-        scoring time.
+        throughput monitor knows — and the latency is the parent-measured
+        round trip (dispatch to collected reply, same clock), so transport
+        cost shows up in the latency columns; ``child_latency`` (the pure
+        scoring time) is informational.
         """
         with self._commit_cond:
             entry = self._inflight.pop(sequence, None)
@@ -528,19 +555,20 @@ class ProcessWorkerPool(WorkerPool):
             # Already written off (its child was diagnosed dead after the
             # reply was queued); the sequence was committed as a hole.
             return
-        records, _ = entry
+        records, _, dispatched_at = entry
         pipeline = self.service.pipeline
         result: Optional[BatchResult]
         try:
             if unknown_delta:
                 pipeline.absorb_unknown_counts(unknown_delta)
+            finished = self.service.clock()
             result = BatchResult(
                 size=len(records),
-                latency=float(latency),
+                latency=float(finished - dispatched_at),
                 predictions=pipeline.decode_labels(predicted),
                 class_indices=predicted,
                 true_indices=pipeline.encode_labels(records),
-                finished=self.service.clock(),
+                finished=finished,
             )
         except BaseException as exc:
             result = None
@@ -558,6 +586,9 @@ class ProcessWorkerPool(WorkerPool):
         clean retirement (its stop sentinel drained behind its last batch);
         any other exit — an active slot exiting at all, or a retiring child
         exiting non-zero — is a failure and its in-flight work is swept.
+        Either way the child is gone, so its channel's preallocated
+        resources (the shm slot ring) are reclaimed on the spot — a
+        SIGKILL'd child must not leak its segment until pool close.
         """
         with self._commit_cond:
             active = list(self._slots)
@@ -578,6 +609,7 @@ class ProcessWorkerPool(WorkerPool):
                 # or an active child obeyed the shutdown stop during close().
                 with self._commit_cond:
                     self._retired_clean.add(child.token)
+                child.channel.reclaim()
                 continue
             reason = (
                 f"worker process {child.token} exited unexpectedly "
@@ -592,6 +624,7 @@ class ProcessWorkerPool(WorkerPool):
                     self._swap_failures.append(reason)
                 self._commit_cond.notify_all()
             self._record_error(RuntimeError(reason))
+            child.channel.reclaim()
         # Sweep every poll, not only at diagnosis time: the sweep also has
         # to catch work routed to a dead child before its failure was known.
         with self._commit_cond:
@@ -599,7 +632,7 @@ class ProcessWorkerPool(WorkerPool):
                 return
             orphaned = sorted(
                 sequence
-                for sequence, (_, worker_id) in self._inflight.items()
+                for sequence, (_, worker_id, _) in self._inflight.items()
                 if worker_id in self._failed_workers
             )
             for sequence in orphaned:
@@ -608,16 +641,52 @@ class ProcessWorkerPool(WorkerPool):
             self._commit(sequence, None)
 
     # ------------------------------------------------------------------ #
+    # Utilization
+    # ------------------------------------------------------------------ #
+    def stats(self) -> PoolStats:
+        """Authoritative :class:`PoolStats` for the process backend.
+
+        The inherited snapshot infers ``in_flight`` from sequence-counter
+        distance (``dispatched - next_commit``), which cannot see *where*
+        a dispatched batch is: batches shipped into per-child task queues,
+        batches being scored, and batches whose replies already arrived but
+        are parked in the reorder buffer behind a missing earlier sequence
+        all look alike.  Under head-of-line blocking that reads as a
+        saturated pool when the children are actually idle — and the fleet
+        autoscaler scales from that stale backlog.
+
+        This override counts the shipped-but-uncommitted sequences from the
+        pool's own books: ``in_flight`` = batches the children still owe a
+        reply for (the per-child in-flight map) plus replies held for
+        in-order commit, and ``busy_fraction`` is computed from the *owed*
+        batches only — the portion of the fleet that genuinely has work.
+        """
+        with self._submit_lock:
+            workers = self.num_workers
+            queue_depth = self.service.batcher.pending_count
+        with self._commit_cond:
+            shipped = len(self._inflight)      # shipped to a child, no reply yet
+            buffered = len(self._out_of_order)  # replied, awaiting in-order commit
+        return PoolStats(
+            workers=workers,
+            queue_depth=queue_depth,
+            in_flight=shipped + buffered,
+            busy_fraction=min(shipped, workers) / workers,
+        )
+
+    # ------------------------------------------------------------------ #
     # Autoscaling
     # ------------------------------------------------------------------ #
     def resize(self, num_workers: int) -> None:
         """Grow or shrink the child-process fleet on batch boundaries.
 
         Growing spawns fresh children that rehydrate the *currently
-        serving* detector from a new checkpoint.  Shrinking retires the
+        serving* detector from a new checkpoint (each with its own channel
+        — on the shm transport, its own slot ring).  Shrinking retires the
         trailing slots: each retiring child receives a stop sentinel behind
         whatever batches it already owns (per-child queues are FIFO),
         finishes them, replies and exits — nothing in flight is dropped,
+        its segment is reclaimed as soon as the clean exit is diagnosed,
         and because every reply still commits through the reorder buffer in
         submission order, reports stay bit-equal to a fixed-size run of the
         same stream.
@@ -643,7 +712,7 @@ class ProcessWorkerPool(WorkerPool):
                     del self._slots[num_workers:]
                     self._graveyard.extend(retiring)
                 for child in retiring:
-                    child.task_queue.put(("stop",))
+                    child.channel.send_stop()
             self.num_workers = num_workers
 
     # ------------------------------------------------------------------ #
@@ -680,7 +749,7 @@ class ProcessWorkerPool(WorkerPool):
                 self._swap_awaiting = {child.token for child in recipients}
                 self._swap_failures = []
             for child in recipients:
-                child.task_queue.put(("swap", checkpoint))
+                child.channel.send_swap(checkpoint)
         with self._commit_cond:
             acknowledged = self._commit_cond.wait_for(
                 lambda: not self._swap_awaiting, self.handshake_timeout
@@ -696,3 +765,20 @@ class ProcessWorkerPool(WorkerPool):
                 "detector swap failed in child process(es): " + "; ".join(failures)
             )
         return retired
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def transport_counters(self) -> Dict[str, int]:
+        """Aggregate per-channel data-plane counters (slot vs inline batches)
+        across every child ever owned by this pool — the number the benches
+        record to prove the shm path actually carried traffic.  Closed
+        children's counters are folded into running totals at close(), so
+        the numbers survive ``run_stream``."""
+        with self._commit_cond:
+            children = list(self._slots) + list(self._graveyard)
+            totals = dict(self._transport_totals)
+        for child in children:
+            totals["slot_batches"] += child.channel.slot_batches
+            totals["inline_batches"] += child.channel.inline_batches
+        return totals

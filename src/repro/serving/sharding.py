@@ -51,6 +51,7 @@ from ..data.dataset import TrafficRecords
 from ..data.generator import StreamBatch
 from ..metrics.ids_metrics import DetectionReport
 from .service import BatchResult, DetectionService, PhaseAttributor, ServiceReport
+from .transport import normalize_transport_name
 from .workers import WorkerPool
 
 __all__ = ["ShardRouter", "ShardedDetectionService"]
@@ -214,12 +215,16 @@ class ShardedDetectionService:
         num_workers: int,
         worker_backend: str = "thread",
         result_callbacks: Optional[Sequence[Callable[[BatchResult], None]]] = None,
+        transport="queue",
     ) -> List[WorkerPool]:
         """Start one worker pool per shard and return them, index-aligned.
 
         The per-shard pool lifecycle seam shared by :meth:`run_stream` and
         the fleet controller: ``result_callbacks`` (index-aligned when
-        given) become each pool's in-order committed-result hook.  The
+        given) become each pool's in-order committed-result hook;
+        ``transport`` picks the process backend's data plane (``"queue"``
+        or ``"shm"`` — see :mod:`repro.serving.transport`; ignored by the
+        thread backend, which shares the parent's address space).  The
         caller owns the returned pools and must ``close()`` them.
         """
         if num_workers <= 0:
@@ -229,6 +234,9 @@ class ShardedDetectionService:
         ):
             raise ValueError("result_callbacks must be index-aligned with shards")
         pool_type = self._pool_type(worker_backend)
+        pool_kwargs = {}
+        if worker_backend == "process":
+            pool_kwargs["transport"] = transport
         return [
             pool_type(
                 shard,
@@ -236,6 +244,7 @@ class ShardedDetectionService:
                 result_callback=(
                     result_callbacks[index] if result_callbacks else None
                 ),
+                **pool_kwargs,
             ).start()
             for index, shard in enumerate(self.shards)
         ]
@@ -358,6 +367,7 @@ class ShardedDetectionService:
         max_batches: Optional[int] = None,
         num_workers: int = 0,
         worker_backend: str = "thread",
+        transport="queue",
     ) -> ServiceReport:
         """Serve a :class:`~repro.data.generator.TrafficStream` across the fleet.
 
@@ -369,10 +379,12 @@ class ShardedDetectionService:
         selects the pool flavour — ``"thread"`` for a :class:`WorkerPool`,
         ``"process"`` for a
         :class:`~repro.serving.procpool.ProcessWorkerPool` whose children
-        score the shard's batches off the GIL.  Otherwise shards score
+        score the shard's batches off the GIL (``transport`` then picks its
+        data plane, ``"queue"`` or ``"shm"``).  Otherwise shards score
         inline on the calling thread.
         """
         self._pool_type(worker_backend)  # fail fast on unknown backends
+        normalize_transport_name(transport)  # ... and unknown transports
         # Records queued on a shard before the stream belong to no phase:
         # clear them out so every attribution FIFO starts aligned with its
         # shard's batcher.
@@ -393,6 +405,7 @@ class ShardedDetectionService:
                 result_callbacks=[
                     attributor.attribute for attributor in attributors
                 ],
+                transport=transport,
             )
         try:
             served = 0

@@ -1,0 +1,154 @@
+"""Seeded equivalence fuzz for the two process-pool transports.
+
+The data plane's correctness claim is that the wire format is invisible:
+the same schedule of submissions, mid-stream flushes, live resizes,
+hot-swaps and child kills must commit record-for-record identical reports
+through the queue transport, the shared-memory transport, and the
+synchronous oracle.  Each seeded schedule is pre-drawn (so all three runs
+mirror the same flush points), uses real fitted detectors (children
+rehydrate from checkpoints — stubs cannot be shipped), and injects kills
+only at drained boundaries so nothing in flight is lost and the counts
+stay exactly comparable.
+
+Schedules are few but adversarial — every spawned child costs a fresh
+interpreter, so the budget goes into action diversity per schedule rather
+than schedule count (``test_resize_fuzz.py`` carries the high-volume
+thread-pool fuzz).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving import DetectionService, ProcessWorkerPool
+from repro.serving.transport import live_segments
+
+pytestmark = pytest.mark.timeout(300)
+
+N_SCHEDULES = 2
+
+
+def _service(detector):
+    return DetectionService(
+        detector, max_batch_size=32, flush_interval=1e9, window=1 << 20
+    )
+
+
+def _report_row(service):
+    report = service.report()
+    rolling = report.rolling
+    return (
+        report.records, report.batches,
+        rolling.tp, rolling.tn, rolling.fp, rolling.fn,
+        tuple(sorted(report.unknown_categoricals.items())),
+    )
+
+
+def _submissions(traffic, rng):
+    cuts, start = [], 0
+    while start < len(traffic):
+        size = int(rng.integers(8, 61))
+        cuts.append(traffic.subset(range(start, min(start + size, len(traffic)))))
+        start += size
+    return cuts
+
+
+def _draw_actions(rng, n):
+    """One pre-drawn action per submission, shared by all three runs."""
+    actions = []
+    killed = False
+    for _ in range(n):
+        roll = rng.random()
+        if roll < 0.25:
+            actions.append(("resize", int(rng.integers(2, 5))))
+        elif roll < 0.40:
+            actions.append(("flush", None))
+        elif roll < 0.55:
+            actions.append(("swap", None))
+        elif roll < 0.65 and not killed:
+            killed = True  # at most one kill: a survivor must always remain
+            actions.append(("kill", None))
+        else:
+            actions.append(("none", None))
+    return actions
+
+
+def _run_pool(detector, submissions, actions, transport):
+    service = _service(detector)
+    pool = ProcessWorkerPool(service, num_workers=2, transport=transport)
+    pool.start()
+    errored = 0
+
+    def guarded(operation):
+        # A kill leaves one recorded error behind; it surfaces exactly once
+        # on the next join/flush/close and the retry then runs clean.
+        nonlocal errored
+        try:
+            operation()
+        except RuntimeError:
+            errored += 1
+            operation()
+
+    try:
+        for records, (action, target) in zip(submissions, actions):
+            pool.submit(records)
+            if action == "resize":
+                pool.resize(target)
+            elif action == "flush":
+                guarded(pool.flush)
+            elif action == "swap":
+                # Same-detector swap: exercises the checkpoint re-ship and
+                # ack machinery without changing what the oracle predicts.
+                guarded(lambda: pool.swap_detector(detector))
+            elif action == "kill":
+                guarded(pool.join)  # drained boundary: nothing in flight
+                victim = pool._slots[0]
+                victim.process.kill()
+                victim.process.join()
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    if victim.token in pool._failed_workers:
+                        break
+                    time.sleep(0.02)
+                assert victim.token in pool._failed_workers
+        guarded(pool.flush)
+    finally:
+        try:
+            pool.close()
+        except RuntimeError:
+            errored += 1
+    killed = "kill" in [action for action, _ in actions]
+    assert errored == (1 if killed else 0)
+    return _report_row(service)
+
+
+@pytest.mark.parametrize("schedule", range(N_SCHEDULES))
+def test_transports_commit_identical_reports(detector, schedule):
+    """queue == shm == sync for every schedule, counts and drift tallies."""
+    from repro.data import load_nslkdd
+
+    rng = np.random.default_rng(7_000 + schedule)
+    traffic = load_nslkdd(n_records=220, seed=31 + schedule)
+    # Salt in out-of-schema categoricals so the shm exception path (values
+    # that cannot be vocabulary-coded) is exercised under every action mix.
+    drift_rows = rng.choice(len(traffic), size=12, replace=False)
+    for row in drift_rows:
+        traffic.categorical["service"][row] = f"fuzz-svc-{row}"
+    submissions = _submissions(traffic, rng)
+    actions = _draw_actions(rng, len(submissions))
+
+    sync_service = _service(detector)
+    for records, (action, _) in zip(submissions, actions):
+        sync_service.submit(records)
+        if action == "flush":
+            sync_service.flush()
+    sync_service.flush()
+    oracle = _report_row(sync_service)
+
+    for transport in ("queue", "shm"):
+        row = _run_pool(detector, submissions, actions, transport)
+        assert row == oracle, (
+            f"schedule {schedule}, transport {transport}: {row} != {oracle}"
+        )
+    assert live_segments() == []
