@@ -1,0 +1,180 @@
+"""Raw-event ingestion benchmark: flow-feature extraction throughput.
+
+Measures the vectorized ingestion front-end (:mod:`repro.ingest`) on the
+``syn-flood-events`` preset, at three levels:
+
+* **extraction only** — packet events through
+  :class:`~repro.ingest.FlowFeatureExtractor` (replay mode), reported as
+  events/s and feature rows/s (best of 3);
+* **round trip** — the aggregated rows are asserted bit-identical to the
+  featurized stream the events were lowered from (the determinism
+  contract; the per-event oracle equivalence behind the vectorized
+  aggregation itself is fuzz-asserted in tier-1,
+  ``tests/ingest/test_flow_table_fuzz.py``);
+* **end-to-end serving split** —
+  :meth:`~repro.serving.DetectionService.run_event_stream` over a fitted
+  detector, splitting wall time into time-in-extractor vs
+  time-in-detector from the ingress extractor's own accounting.
+
+The rows are merged into the ``"ingest"`` section of
+``BENCH_serving.json`` (the serving benchmark owns the sibling sections
+and both write merge-preserving).
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from bench_utils import emit
+from repro.core import PelicanDetector
+from repro.data import NSLKDD_SCHEMA, load_nslkdd, nslkdd_generator
+from repro.ingest import FlowFeatureExtractor
+from repro.scenarios import syn_flood_event_scenario
+from repro.serving import DetectionService
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+REPEATS = 3
+
+#: Stream shape per scale: (batch_size, baseline_batches, flood_batches).
+_SHAPES = {"smoke": (64, 2, 2), "bench": (256, 8, 8), "full": (512, 16, 16)}
+
+
+def _measure_extraction(event_stream, event_batches):
+    """Extraction-only timing over pre-lowered packet traces."""
+    total_events = sum(len(eb.events) for eb in event_batches)
+
+    def run():
+        extractor = FlowFeatureExtractor(
+            event_stream.schema, window=event_stream.window
+        )
+        for eb in event_batches:
+            extractor.extract(eb.events, final=True)
+        return extractor
+
+    best = float("inf")
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        extractor = run()
+        best = min(best, time.perf_counter() - started)
+    assert extractor.rows_emitted == event_stream.total_records
+    return {
+        "events": total_events,
+        "rows": extractor.rows_emitted,
+        "extract_s": best,
+        "events_per_s": total_events / best,
+        "rows_per_s": extractor.rows_emitted / best,
+        "events_per_row": total_events / extractor.rows_emitted,
+    }
+
+
+def _round_trip_bit_exact(event_stream):
+    for got, want in zip(event_stream, event_stream.stream):
+        if not (
+            np.array_equal(got.records.numeric, want.records.numeric)
+            and list(got.records.labels) == list(want.records.labels)
+        ):
+            return False
+    return True
+
+
+def _measure_serving_split(detector, event_stream):
+    """run_event_stream wall time, split extractor vs detector."""
+    service = DetectionService(
+        detector, max_batch_size=event_stream.batch_size,
+        flush_interval=0.0, window=1 << 20,
+    )
+    started = time.perf_counter()
+    report = service.run_event_stream(event_stream)
+    total = time.perf_counter() - started
+    stats = service.event_extractor.stats_row()
+    extract = stats["extract_seconds"]
+    return {
+        "records": report.records,
+        "total_s": total,
+        "extract_s": extract,
+        "detect_s": total - extract,
+        "extract_fraction": extract / total,
+        "throughput_rps": report.throughput,
+        "events_seen": stats["events_seen"],
+        "flows_closed": stats["flows_closed"],
+    }
+
+
+def _render(row):
+    lines = ["Raw-event ingestion ({} preset)".format(row["preset"])]
+    ex = row["extraction"]
+    lines.append(
+        "  extraction: {:,} events -> {:,} rows in {:.3f} s "
+        "({:,.0f} events/s, {:,.0f} rows/s)".format(
+            ex["events"], ex["rows"], ex["extract_s"],
+            ex["events_per_s"], ex["rows_per_s"],
+        )
+    )
+    lines.append(
+        "  round trip bit-exact vs featurized stream: {}".format(
+            row["round_trip_bit_exact"]
+        )
+    )
+    sv = row["serving"]
+    lines.append(
+        "  serving split: {:.3f} s total = {:.3f} s extractor "
+        "({:.1%}) + {:.3f} s detector; {:,.0f} rec/s".format(
+            sv["total_s"], sv["extract_s"], sv["extract_fraction"],
+            sv["detect_s"], sv["throughput_rps"],
+        )
+    )
+    return "\n".join(lines)
+
+
+def test_ingest_throughput(run_once, scale, seed, check_claims):
+    batch_size, baseline, flood = _SHAPES.get(scale.name, _SHAPES["bench"])
+
+    def experiment():
+        generator = nslkdd_generator()
+        event_stream = syn_flood_event_scenario(
+            generator, batch_size=batch_size, seed=seed,
+            baseline_batches=baseline, flood_batches=flood,
+        )
+        event_batches = list(event_stream.event_batches())
+        detector = PelicanDetector(
+            NSLKDD_SCHEMA, num_blocks=1, epochs=2, batch_size=64,
+            dropout_rate=0.3, seed=seed,
+        )
+        detector.fit(load_nslkdd(n_records=400, seed=11))
+        return {
+            "preset": "syn-flood-events",
+            "scale": scale.name,
+            "batch_size": batch_size,
+            "batches": event_stream.total_batches,
+            "extraction": _measure_extraction(event_stream, event_batches),
+            "round_trip_bit_exact": _round_trip_bit_exact(event_stream),
+            "serving": _measure_serving_split(detector, event_stream),
+        }
+
+    row = run_once(experiment)
+    emit(_render(row))
+    merged = json.loads(RESULT_PATH.read_text()) if RESULT_PATH.exists() else {}
+    merged["ingest"] = row
+    RESULT_PATH.write_text(json.dumps(merged, indent=2) + "\n")
+
+    # The contract half of the row is scale-independent.
+    assert row["round_trip_bit_exact"], (
+        "event lowering + flow aggregation no longer reproduces the "
+        "featurized stream bit for bit"
+    )
+    if check_claims:
+        ex = row["extraction"]
+        # Vectorized floor: the flow table must stay packet-loop-free.  A
+        # per-event Python path runs an order of magnitude below this.
+        assert ex["events_per_s"] >= 100_000, (
+            f"extraction throughput {ex['events_per_s']:,.0f} events/s "
+            "below the 100k vectorization floor"
+        )
+        # Ingestion must not dominate serving: the extractor's share of the
+        # end-to-end wall clock stays below the detector's.
+        fraction = row["serving"]["extract_fraction"]
+        assert fraction < 0.5, (
+            f"extractor consumed {fraction:.1%} of the serving wall clock"
+        )

@@ -347,7 +347,11 @@ def test_serving_throughput(run_once, scale, seed, check_claims):
 
     results = run_once(experiment)
     emit(_render(results))
-    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    # Merge-write: other benchmarks own sibling sections of the same file
+    # (e.g. the ingestion front-end's "ingest" row), so preserve them.
+    merged = json.loads(RESULT_PATH.read_text()) if RESULT_PATH.exists() else {}
+    merged.update(results)
+    RESULT_PATH.write_text(json.dumps(merged, indent=2) + "\n")
 
     for name, row in results["networks"].items():
         assert row["max_abs_diff"] < 1e-6, (

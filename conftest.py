@@ -20,13 +20,23 @@ markers:
   same gate the serving benchmark applies to its ≥ 1.5x worker-scaling
   claim — so tier-1 stays green on the single-core dev container while
   multi-core CI hosts exercise the scaling assertions.
+* ``ingest`` — raw-event ingestion front-end tests (flow table, feature
+  extractor, event lowering); select them with ``pytest -m ingest``.
+
+It also hosts the ``serving_leak_check`` fixture: the post-test assertion
+that nothing the serving layer spawns (non-daemon threads, child
+processes, shared-memory segments) survives a test.  It lives here so
+both the serving suite and the ingest suite (whose ingress tests drive
+the same pools and transports) wrap it in their autouse fixtures.
 """
 
 import faulthandler
 import functools
+import multiprocessing
 import os
 import sys
 import threading
+import time
 from pathlib import Path
 
 import pytest
@@ -61,6 +71,11 @@ def pytest_configure(config):
         "multicore(min_cores): skip unless os.cpu_count() >= min_cores "
         "(default 2); for tests whose assertions only hold with real "
         "parallel hardware, e.g. process-pool scaling claims",
+    )
+    config.addinivalue_line(
+        "markers",
+        "ingest: raw-event ingestion front-end tests (flow table, feature "
+        "extractor, event lowering); select with -m ingest",
     )
 
 
@@ -128,6 +143,45 @@ def pytest_collection_modifyitems(config, items):
     for item in items:
         if "slow" in item.keywords:
             item.add_marker(skip_slow)
+
+
+@pytest.fixture
+def serving_leak_check():
+    """Fail the wrapping test if it leaks a thread, a child process or a
+    shared-memory segment past its own teardown.
+
+    Not autouse here: the serving and ingest suites opt in by wrapping it
+    in their own autouse fixtures (see their ``conftest.py`` files), so
+    suites that never touch the serving layer don't pay the import.
+    """
+    from repro.serving import transport as serving_transport
+
+    before_threads = {
+        thread for thread in threading.enumerate() if not thread.daemon
+    }
+    yield
+    # Children obeying a stop sentinel and pool collector threads can take
+    # a beat to finish exiting after close() returns a joined process —
+    # poll briefly before declaring a leak so the check stays deterministic.
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        leaked_threads = [
+            thread
+            for thread in threading.enumerate()
+            if not thread.daemon
+            and thread.is_alive()
+            and thread not in before_threads
+        ]
+        leaked_children = multiprocessing.active_children()
+        leaked_segments = serving_transport.live_segments()
+        if not (leaked_threads or leaked_children or leaked_segments):
+            return
+        time.sleep(0.05)
+    assert not leaked_threads, f"test leaked non-daemon threads: {leaked_threads}"
+    assert not leaked_children, f"test leaked child processes: {leaked_children}"
+    assert not leaked_segments, (
+        f"test leaked shared-memory segments: {leaked_segments}"
+    )
 
 
 @pytest.fixture(autouse=True)

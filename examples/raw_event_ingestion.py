@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Raw-event ingestion: serve a SYN flood from packet events, not feature rows.
+
+The paper's detector consumes NSL-KDD-style feature rows; a deployed IDS
+consumes *packets*.  This example runs the full ingestion front-end
+(:mod:`repro.ingest`) in front of the serving stack:
+
+1. train a small :class:`repro.core.PelicanDetector` on synthetic NSL-KDD
+   traffic,
+2. build the packet-level scenario preset
+   (:func:`repro.scenarios.syn_flood_event_scenario`): a benign-baseline /
+   SYN-flood / recovery arc *lowered to packet events* — DoS records become
+   2-packet unidirectional SYN bursts against one victim host,
+3. serve the raw packets with
+   :meth:`repro.serving.DetectionService.run_event_stream` — the service's
+   flow-feature extractor aggregates 5-tuple flows (vectorized, no
+   per-packet Python) into schema rows and scores them,
+4. verify the determinism contract: the same events scored through the
+   record plane produce bit-identical confusion counts, and read the
+   events-vs-rows / time-in-extractor accounting.
+
+Run with::
+
+    python examples/raw_event_ingestion.py
+"""
+
+from repro.core import PelicanDetector
+from repro.data import NSLKDD_SCHEMA, load_nslkdd, nslkdd_generator
+from repro.scenarios import syn_flood_event_scenario
+from repro.serving import DetectionService
+
+
+def main() -> None:
+    # 1. A modest detector (cf. examples/streaming_detection.py).
+    train_records = load_nslkdd(n_records=800, seed=1)
+    detector = PelicanDetector(
+        NSLKDD_SCHEMA,
+        num_blocks=2,
+        epochs=5,
+        batch_size=96,
+        dropout_rate=0.3,
+        seed=0,
+    )
+    print(f"training on {len(train_records)} records ...")
+    detector.fit(train_records, verbose=1)
+
+    # 2. The packet-level preset.  `event_batches()` exposes the raw packet
+    #    traces; iterating the stream itself yields ordinary feature batches
+    #    (each trace aggregated back through a replay-mode extractor).
+    event_stream = syn_flood_event_scenario(
+        nslkdd_generator(), batch_size=64, seed=11
+    )
+    total_events = sum(len(eb.events) for eb in event_stream.event_batches())
+    print(
+        f"lowered {event_stream.total_records} records to "
+        f"{total_events} packet events in {event_stream.total_batches} batches"
+    )
+
+    # 3. Serve the packets.  The service attaches a FlowFeatureExtractor on
+    #    first use: 5-tuple flow assembly, FIN-based closure, trailing-window
+    #    connection context, then the ordinary micro-batching scoring path.
+    service = DetectionService(
+        detector, max_batch_size=128, flush_interval=0.0, window=1 << 20
+    )
+    report = service.run_event_stream(event_stream)
+    print()
+    print(report)
+    print()
+    print(f"{'phase':<18s} {'records':>8s} {'DR':>8s} {'FAR':>8s}")
+    for phase, phase_report in report.phase_reports.items():
+        print(
+            f"{phase:<18s} {phase_report.total:>8d} "
+            f"{phase_report.detection_rate:>8.2%} "
+            f"{phase_report.false_alarm_rate:>8.2%}"
+        )
+
+    # The ingress accounting: how much of the work was flow aggregation.
+    stats = service.event_extractor.stats_row()
+    print()
+    print(
+        f"extractor: {stats['events_seen']} events -> "
+        f"{stats['rows_emitted']} rows, {stats['flows_closed']} flows closed, "
+        f"{stats['extract_seconds'] * 1e3:.1f} ms aggregating, "
+        f"window port entropy {stats['port_entropy']:.2f} bits"
+    )
+
+    # 4. The determinism contract, checked live: the featurized record plane
+    #    scores the identical confusion counts.
+    reference = DetectionService(
+        detector, max_batch_size=128, flush_interval=0.0, window=1 << 20
+    ).run_stream(event_stream.stream)
+    got = (report.rolling.tp, report.rolling.tn,
+           report.rolling.fp, report.rolling.fn)
+    want = (reference.rolling.tp, reference.rolling.tn,
+            reference.rolling.fp, reference.rolling.fn)
+    print()
+    print(f"event-plane counts  (tp, tn, fp, fn): {got}")
+    print(f"record-plane counts (tp, tn, fp, fn): {want}")
+    assert got == want, "event and record planes disagree"
+    print("bit-identical across planes — the ingestion front-end is transparent")
+
+
+if __name__ == "__main__":
+    main()

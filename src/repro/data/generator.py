@@ -295,6 +295,26 @@ class TrafficGenerator:
             np.linalg.norm(direction) / np.sqrt(n_numeric), 1e-12
         )
 
+    def lower_to_events(
+        self,
+        records: TrafficRecords,
+        seed: int = 0,
+        base_time: float = 0.0,
+    ):
+        """Lower featurized records to a seeded packet-event trace.
+
+        The packet-event emission mode: the returned
+        :class:`~repro.ingest.PacketEvents` trace aggregates back to
+        ``records`` bit for bit through a replay-mode
+        :class:`~repro.ingest.FlowFeatureExtractor` (see
+        :mod:`repro.ingest.lowering` for the contract).
+        """
+        from ..ingest.lowering import lower_records
+
+        return lower_records(
+            records, np.random.default_rng(seed), base_time=base_time
+        )
+
     def sample(
         self,
         n_records: int,
@@ -619,6 +639,20 @@ class TrafficStream:
                 scan_fraction=scan_fraction,
             )
         )
+
+    def packet_events(self, window: int = 100):
+        """Packet-event emission mode: this scenario, lowered to events.
+
+        Returns a :class:`~repro.ingest.EventTrafficStream` wrapping this
+        stream — ``event_batches()`` yields each phase as a seeded packet
+        trace, while iterating it still yields :class:`StreamBatch` values
+        (each trace re-aggregated through a fresh flow extractor) that
+        equal this stream's batches bit for bit, so every serving
+        execution model consumes it unchanged.
+        """
+        from ..ingest.lowering import EventTrafficStream
+
+        return EventTrafficStream(self, window=window)
 
     @classmethod
     def _rewrap(cls, stream: "TrafficStream") -> "TrafficStream":

@@ -15,6 +15,7 @@ depends on:
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
@@ -25,7 +26,54 @@ __all__ = [
     "NSLKDD_SCHEMA",
     "UNSWNB15_SCHEMA",
     "get_schema",
+    "EVENT_CATEGORICAL_BINDINGS",
+    "WELL_KNOWN_PORTS",
+    "service_port",
 ]
+
+#: Packet-trace provenance of each categorical column: which
+#: :class:`repro.ingest.PacketEvents` field carries the value and whether a
+#: flow's ``first`` or ``last`` packet is authoritative.  Protocol and
+#: service are properties of the connection attempt (first packet); the
+#: NSL-KDD ``flag`` and UNSW-NB15 ``state`` columns summarise how the
+#: connection *ended* (last packet).
+EVENT_CATEGORICAL_BINDINGS: Dict[str, Tuple[str, str]] = {
+    "protocol_type": ("protocol", "first"),
+    "proto": ("protocol", "first"),
+    "service": ("service", "first"),
+    "flag": ("state", "last"),
+    "state": ("state", "last"),
+}
+
+#: IANA(-ish) destination ports for the service names the two corpora use;
+#: services without a well-known port get a stable CRC-derived one.
+WELL_KNOWN_PORTS: Dict[str, int] = {
+    "http": 80, "http_443": 443, "http_8001": 8001, "smtp": 25,
+    "ftp": 21, "ftp_data": 20, "ftp-data": 20, "telnet": 23, "ssh": 22,
+    "domain": 53, "domain_u": 53, "dns": 53, "pop_3": 110, "pop3": 110,
+    "pop_2": 109, "imap4": 143, "snmp": 161, "ldap": 389, "ssl": 443,
+    "irc": 6667, "IRC": 6667, "X11": 6000, "dhcp": 67, "radius": 1812,
+    "nntp": 119, "whois": 43, "finger": 79, "auth": 113, "time": 37,
+    "daytime": 13, "discard": 9, "echo": 7, "systat": 11, "netstat": 15,
+    "exec": 512, "login": 513, "shell": 514, "printer": 515, "efs": 520,
+    "klogin": 543, "kshell": 544, "sql_net": 1521, "bgp": 179,
+    "sunrpc": 111, "tftp_u": 69, "netbios_ns": 137, "netbios_dgm": 138,
+    "netbios_ssn": 139, "gopher": 70, "uucp": 540, "courier": 530,
+}
+
+
+def service_port(service: str) -> int:
+    """Deterministic destination port for a service name.
+
+    Well-known services map to their registered port; everything else gets
+    a stable ephemeral port derived from ``zlib.crc32`` (*not* ``hash()``,
+    which is randomised per process and would break cross-process
+    determinism of lowered event traces).
+    """
+    port = WELL_KNOWN_PORTS.get(service)
+    if port is not None:
+        return port
+    return 1024 + zlib.crc32(str(service).encode("utf-8")) % 48_000
 
 
 @dataclass(frozen=True)
@@ -105,6 +153,21 @@ class DatasetSchema:
         return len(self.numeric_features) + sum(
             feature.cardinality for feature in self.categorical_features
         )
+
+    def event_binding(self, column: str) -> Tuple[str, str]:
+        """Packet-trace provenance of a categorical column: the
+        :class:`repro.ingest.PacketEvents` field carrying it and whether a
+        flow's ``"first"`` or ``"last"`` packet is authoritative."""
+        if column not in self.categorical_names:
+            raise KeyError(
+                f"{column!r} is not a categorical column of {self.name!r}"
+            )
+        try:
+            return EVENT_CATEGORICAL_BINDINGS[column]
+        except KeyError as exc:
+            raise KeyError(
+                f"no event binding declared for categorical column {column!r}"
+            ) from exc
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,166 @@
+"""Struct-of-arrays container for packet-level events.
+
+The ingestion front-end consumes *events* — one row per captured packet —
+and aggregates them into per-flow feature rows (see
+:mod:`repro.ingest.flows`).  :class:`PacketEvents` is the columnar batch
+format the whole layer speaks: parallel numpy arrays, one entry per
+packet, in **capture order** (array order; timestamps are informational
+and may be locally out of order, exactly like a real capture feed).
+
+Fields
+------
+``time``
+    Capture timestamp in seconds (float64).  Used for flow durations and
+    idle eviction, *not* for ordering.
+``src_host`` / ``dst_host`` / ``src_port`` / ``dst_port``
+    Integer endpoint identifiers; together with ``protocol`` they form the
+    5-tuple flow key.
+``size``
+    Bytes on the wire.
+``direction``
+    ``+1`` forward (initiator → responder), ``-1`` backward.
+``flags``
+    Bitmask: :data:`FLAG_SYN` (connection open), :data:`FLAG_FIN` (flow
+    terminator — the next packet with the same 5-tuple opens a *new*
+    flow) and :data:`FLAG_ERR` (the packet belongs to an error-state
+    exchange; feeds the ``serror``-style window rates).
+``protocol`` / ``service`` / ``state`` / ``label``
+    Per-packet strings (object arrays).  ``protocol``/``service`` are read
+    from a flow's *first* packet, ``state`` from its *last* (how the
+    connection ended), matching
+    :data:`repro.data.schema.EVENT_CATEGORICAL_BINDINGS`.  ``label`` is the
+    ground-truth class carried through for evaluation.
+``payload``
+    ``(n, payload_width)`` float64 block of opaque per-packet feature
+    fragments, summed per flow by the extractor.  The deterministic
+    lowering (:mod:`repro.ingest.lowering`) uses it to round-trip the
+    generator's numeric features bit for bit; real traces leave the width
+    at 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["FLAG_SYN", "FLAG_FIN", "FLAG_ERR", "PacketEvents"]
+
+FLAG_SYN = np.uint8(1)
+FLAG_FIN = np.uint8(2)
+FLAG_ERR = np.uint8(4)
+
+
+@dataclass
+class PacketEvents:
+    """A batch of packet events (see module docstring for field semantics)."""
+
+    time: np.ndarray
+    src_host: np.ndarray
+    dst_host: np.ndarray
+    src_port: np.ndarray
+    dst_port: np.ndarray
+    size: np.ndarray
+    direction: np.ndarray
+    flags: np.ndarray
+    protocol: np.ndarray
+    service: np.ndarray
+    state: np.ndarray
+    label: np.ndarray
+    payload: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.time = np.asarray(self.time, dtype=np.float64)
+        if self.time.ndim != 1:
+            raise ValueError("event columns must be 1-D arrays")
+        n = len(self.time)
+        for name in ("src_host", "dst_host", "src_port", "dst_port"):
+            setattr(self, name, np.asarray(getattr(self, name), dtype=np.int64))
+        self.size = np.asarray(self.size, dtype=np.float64)
+        self.direction = np.asarray(self.direction, dtype=np.int8)
+        self.flags = np.asarray(self.flags, dtype=np.uint8)
+        for name in ("protocol", "service", "state", "label"):
+            setattr(self, name, np.asarray(getattr(self, name), dtype=object))
+        if self.payload is None:
+            self.payload = np.zeros((n, 0))
+        self.payload = np.asarray(self.payload, dtype=np.float64)
+        if self.payload.ndim != 2:
+            raise ValueError("payload must be a 2-D array (events x fragments)")
+        for name in (
+            "src_host", "dst_host", "src_port", "dst_port", "size",
+            "direction", "flags", "protocol", "service", "state", "label",
+        ):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"event column {name!r} has the wrong length")
+        if self.payload.shape[0] != n:
+            raise ValueError("payload has the wrong number of rows")
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.time)
+
+    @property
+    def payload_width(self) -> int:
+        return self.payload.shape[1]
+
+    @classmethod
+    def empty(cls, payload_width: int = 0) -> "PacketEvents":
+        """A valid zero-event batch (e.g. a quiet capture interval)."""
+        return cls(
+            time=np.empty(0),
+            src_host=np.empty(0, np.int64),
+            dst_host=np.empty(0, np.int64),
+            src_port=np.empty(0, np.int64),
+            dst_port=np.empty(0, np.int64),
+            size=np.empty(0),
+            direction=np.empty(0, np.int8),
+            flags=np.empty(0, np.uint8),
+            protocol=np.empty(0, object),
+            service=np.empty(0, object),
+            state=np.empty(0, object),
+            label=np.empty(0, object),
+            payload=np.zeros((0, payload_width)),
+        )
+
+    def subset(self, indices: Sequence[int]) -> "PacketEvents":
+        """Events at ``indices`` (capture order is the selection order)."""
+        indices = np.asarray(indices)
+        if indices.dtype != bool:
+            indices = indices.astype(np.int64, copy=False)
+        return PacketEvents(
+            **{
+                name: getattr(self, name)[indices]
+                for name in (
+                    "time", "src_host", "dst_host", "src_port", "dst_port",
+                    "size", "direction", "flags", "protocol", "service",
+                    "state", "label", "payload",
+                )
+            }
+        )
+
+    @staticmethod
+    def concatenate(parts: Iterable["PacketEvents"]) -> "PacketEvents":
+        """Splice several event batches, preserving capture order."""
+        parts = list(parts)
+        if not parts:
+            raise ValueError("cannot concatenate an empty list of event batches")
+        widths = {part.payload_width for part in parts}
+        if len(widths) != 1:
+            raise ValueError(f"payload widths differ across parts: {sorted(widths)}")
+        return PacketEvents(
+            **{
+                name: np.concatenate([getattr(part, name) for part in parts])
+                for name in (
+                    "time", "src_host", "dst_host", "src_port", "dst_port",
+                    "size", "direction", "flags", "protocol", "service",
+                    "state", "label",
+                )
+            },
+            payload=np.concatenate([part.payload for part in parts], axis=0),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PacketEvents(events={len(self)}, payload_width={self.payload_width})"
+        )

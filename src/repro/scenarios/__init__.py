@@ -48,6 +48,7 @@ from .fleet import (
     rollout_drift_scenario,
 )
 from .presets import (
+    EVENT_STREAM_PRESETS,
     RATE_BASELINE,
     RATE_FLOOD,
     RATE_SLOW,
@@ -58,6 +59,7 @@ from .presets import (
     probe_sweep_scenario,
     retrain_recovery_scenario,
     slow_dos_scenario,
+    syn_flood_event_scenario,
 )
 from .suite import ScenarioSuite, report_row
 
@@ -82,7 +84,9 @@ __all__ = [
     "slow_dos_scenario",
     "retrain_recovery_scenario",
     "fleet_scenario",
+    "syn_flood_event_scenario",
     "SINGLE_STREAM_PRESETS",
+    "EVENT_STREAM_PRESETS",
     "RATE_BASELINE",
     "RATE_FLOOD",
     "RATE_SLOW",

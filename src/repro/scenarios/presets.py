@@ -39,7 +39,9 @@ __all__ = [
     "slow_dos_scenario",
     "retrain_recovery_scenario",
     "fleet_scenario",
+    "syn_flood_event_scenario",
     "SINGLE_STREAM_PRESETS",
+    "EVENT_STREAM_PRESETS",
 ]
 
 #: Advisory pacing hints (records/second) for replay harnesses.
@@ -405,6 +407,48 @@ def fleet_scenario(
     return InterleavedStream(streams)
 
 
+def syn_flood_event_scenario(
+    generator: TrafficGenerator,
+    batch_size: int = 64,
+    seed: int = 0,
+    attack_class: Optional[str] = None,
+    baseline_batches: int = 4,
+    flood_batches: int = 4,
+    attack_fraction: float = 0.8,
+    window: int = 100,
+):
+    """SYN flood as *packet events*: the packet-level scenario preset.
+
+    A benign baseline / SYN-flood burst / recovery arc, lowered to the
+    event plane with :meth:`~repro.data.generator.TrafficStream.packet_events`:
+    DoS records become 2-packet unidirectional SYN bursts against a single
+    victim host, benign records become request/response exchanges.  The
+    returned :class:`~repro.ingest.EventTrafficStream` iterates as ordinary
+    feature batches (aggregated through a replay-mode extractor), so every
+    serving execution model consumes it unchanged and scores it
+    bit-identically to the underlying featurized stream; its
+    :meth:`~repro.ingest.EventTrafficStream.event_batches` side exposes the
+    raw packets for :meth:`~repro.serving.DetectionService.run_event_stream`.
+    """
+    normal = generator.schema.normal_class
+    attack = _pick_attack(generator, attack_class, ("dos",), "attack")
+    benign = {normal: 1.0}
+    flood = {normal: 1.0 - attack_fraction, attack: attack_fraction}
+    scenario = Scenario(
+        "syn-flood-events",
+        (
+            Segment("benign-baseline", baseline_batches, Constant(benign),
+                    rate_hint=RATE_BASELINE),
+            Segment("syn-flood", flood_batches, Constant(flood),
+                    rate_hint=RATE_FLOOD),
+            Segment("recovery", max(baseline_batches // 2, 1), Constant(benign),
+                    rate_hint=RATE_BASELINE),
+        ),
+    )
+    stream = scenario.build(generator, batch_size=batch_size, seed=seed)
+    return stream.packet_events(window=window)
+
+
 #: Single-schema presets the :class:`~repro.scenarios.suite.ScenarioSuite`
 #: sweeps by default (``fleet`` is handled separately: it needs one detector
 #: per corpus).
@@ -414,4 +458,12 @@ SINGLE_STREAM_PRESETS = {
     "imbalance-shift": imbalance_shift_scenario,
     "slow-dos": slow_dos_scenario,
     "retrain-recovery": retrain_recovery_scenario,
+}
+
+#: Packet-event presets: builders returning an
+#: :class:`~repro.ingest.EventTrafficStream` instead of a
+#: :class:`~repro.data.generator.TrafficStream`.  Swept by the suite when
+#: ``include_events`` is on.
+EVENT_STREAM_PRESETS = {
+    "syn-flood-events": syn_flood_event_scenario,
 }

@@ -45,6 +45,7 @@ from .fleet import (
     validate_detector_keys,
 )
 from .presets import (
+    EVENT_STREAM_PRESETS,
     SINGLE_STREAM_PRESETS,
     fleet_scenario,
     retrain_recovery_scenario,
@@ -204,6 +205,18 @@ class ScenarioSuite:
         Override the single-schema preset registry (name → factory taking
         ``(generator, batch_size=..., seed=...)``); tests use this to
         inject trimmed scenarios.
+    event_scenarios / include_events:
+        The packet-event preset registry (name → factory returning an
+        :class:`~repro.ingest.EventTrafficStream`; default
+        :data:`~repro.scenarios.presets.EVENT_STREAM_PRESETS`) and the
+        switch that sweeps it.  Event presets run through the same
+        execution models as the featurized ones — the adapter iterates as
+        ordinary stream batches (each event batch aggregated through a
+        replay-mode flow-feature extractor), so confusion counts are
+        expected to match the underlying featurized stream bit for bit.
+        Off by default: the lowering + aggregation round trip roughly
+        doubles a scenario's data-plane work, which quick sweeps should
+        opt into.
     include_fleet:
         Set ``False`` to skip the cross-dataset preset even when both
         detectors are available.
@@ -247,6 +260,8 @@ class ScenarioSuite:
         num_workers: int = 2,
         replica_shards: int = 2,
         scenarios: Optional[Mapping[str, Callable]] = None,
+        event_scenarios: Optional[Mapping[str, Callable]] = None,
+        include_events: bool = False,
         include_fleet: bool = True,
         include_fleet_control: bool = False,
         include_lifecycle: bool = False,
@@ -267,6 +282,10 @@ class ScenarioSuite:
         self.scenarios = dict(
             scenarios if scenarios is not None else SINGLE_STREAM_PRESETS
         )
+        self.event_scenarios = dict(
+            event_scenarios if event_scenarios is not None else EVENT_STREAM_PRESETS
+        )
+        self.include_events = bool(include_events)
         self.include_fleet = bool(include_fleet)
         self.include_fleet_control = bool(include_fleet_control)
         self.include_lifecycle = bool(include_lifecycle)
@@ -434,6 +453,30 @@ class ScenarioSuite:
                 report = self._run_model(primary, stream, model)
                 entry["models"][model] = report_row(report)
             results["scenarios"][name] = entry
+
+        if self.include_events:
+            for name, factory in self.event_scenarios.items():
+                event_stream = factory(
+                    generator, batch_size=self.batch_size, seed=self.seed
+                )
+                entry = {
+                    "dataset": primary_name,
+                    "plane": "packet-events",
+                    "total_batches": event_stream.total_batches,
+                    "total_records": event_stream.total_records,
+                    "rate_hints": {
+                        phase.name: phase.rate_hint
+                        for phase in event_stream.phases
+                        if phase.rate_hint is not None
+                    },
+                    "models": {},
+                }
+                # The adapter yields plain stream batches, so every single-
+                # stream execution model consumes it unchanged.
+                for model in SINGLE_STREAM_MODELS:
+                    report = self._run_model(primary, event_stream, model)
+                    entry["models"][model] = report_row(report)
+                results["scenarios"][name] = entry
 
         if self.include_fleet:
             fleet_stream = fleet_scenario(

@@ -423,6 +423,52 @@ class DetectionService:
         """Enqueue records; process and return whatever batches became due."""
         return [self.process(batch) for batch in self.batcher.submit(records)]
 
+    # ------------------------------------------------------------------ #
+    # Raw-event ingress (see repro.ingest).  The extractor is created
+    # lazily so services that never see packets pay nothing and the
+    # serving layer has no import-time dependency on the ingest package.
+    @property
+    def event_extractor(self):
+        """The service's raw-event ingress extractor (created on first use
+        via :meth:`open_event_ingress`)."""
+        return getattr(self, "_event_extractor", None)
+
+    def open_event_ingress(
+        self,
+        window: int = 100,
+        idle_timeout: Optional[float] = None,
+        derive_features: bool = False,
+    ):
+        """Attach (and return) a flow-feature extractor for raw packet
+        events targeting this service's schema; replaces any previous one.
+        See :class:`repro.ingest.FlowFeatureExtractor` for the knobs."""
+        from ..ingest import FlowFeatureExtractor
+
+        self._event_extractor = FlowFeatureExtractor(
+            self.pipeline.schema,
+            window=window,
+            idle_timeout=idle_timeout,
+            derive_features=derive_features,
+        )
+        return self._event_extractor
+
+    def submit_events(self, events, final: bool = True) -> List[BatchResult]:
+        """Aggregate raw packet events into feature rows and enqueue them.
+
+        The ingress path: events flow through the service's
+        :class:`~repro.ingest.FlowFeatureExtractor` (attached on first use
+        with default settings; call :meth:`open_event_ingress` first to
+        configure it) and the closed flows' rows go through the ordinary
+        :meth:`submit` queue.  ``final=False`` keeps quiet flows open
+        across calls (streaming captures); the default closes each call's
+        interval completely.
+        """
+        extractor = self.event_extractor or self.open_event_ingress()
+        records = extractor.extract(events, final=final)
+        if len(records) == 0:
+            return []
+        return self.submit(records)
+
     def poll(self) -> List[BatchResult]:
         """Process the pending partial batch if it aged past the interval."""
         batch = self.batcher.poll()
@@ -480,3 +526,42 @@ class DetectionService:
             attributor.attribute(result)
 
         return replace(self.report(), phase_reports=attributor.reports())
+
+    def run_event_stream(
+        self,
+        events,
+        extractor=None,
+        max_batches: Optional[int] = None,
+    ) -> ServiceReport:
+        """Serve a raw packet-event stream end-to-end.
+
+        ``events`` is an :class:`~repro.ingest.EventTrafficStream` or any
+        iterable of :class:`~repro.ingest.EventBatch`.  Each event batch is
+        aggregated into feature rows by ``extractor`` (default: this
+        service's ingress extractor, attached on first use) and then served
+        exactly like :meth:`run_stream`, including the per-phase
+        attribution.  The extractor's :meth:`~repro.ingest.FlowFeatureExtractor.stats_row`
+        afterwards gives the events-vs-rows and time-in-extractor
+        accounting.
+        """
+        from ..ingest.lowering import EventTrafficStream
+
+        if extractor is None:
+            extractor = self.event_extractor or self.open_event_ingress()
+        batches = (
+            events.event_batches()
+            if isinstance(events, EventTrafficStream)
+            else iter(events)
+        )
+
+        def _aggregate() -> Iterable[StreamBatch]:
+            for event_batch in batches:
+                yield StreamBatch(
+                    records=extractor.extract(event_batch.events, final=True),
+                    phase=event_batch.phase,
+                    index=event_batch.index,
+                    phase_index=event_batch.phase_index,
+                    mix=event_batch.mix,
+                )
+
+        return self.run_stream(_aggregate(), max_batches=max_batches)

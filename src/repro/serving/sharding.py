@@ -447,3 +447,51 @@ class ShardedDetectionService:
                     else DetectionReport.merge([existing, report])
                 )
         return self._merge(phase_reports=merged_phases)
+
+    def run_event_stream(
+        self,
+        events,
+        extractor=None,
+        max_batches: Optional[int] = None,
+        num_workers: int = 0,
+        worker_backend: str = "thread",
+        transport="queue",
+    ) -> ServiceReport:
+        """Serve a raw packet-event stream across the fleet.
+
+        Flow aggregation happens *upstream* of routing — one
+        :class:`~repro.ingest.FlowFeatureExtractor` (default: built for the
+        first shard's schema) turns each
+        :class:`~repro.ingest.EventBatch` into feature rows, and the rows
+        then take the ordinary :meth:`run_stream` path, so sharded serving
+        from events is record-for-record identical to sharded serving of
+        the equivalent featurized stream.
+        """
+        from ..ingest import FlowFeatureExtractor
+        from ..ingest.lowering import EventTrafficStream
+
+        if extractor is None:
+            extractor = FlowFeatureExtractor(self.shards[0].pipeline.schema)
+        batches = (
+            events.event_batches()
+            if isinstance(events, EventTrafficStream)
+            else iter(events)
+        )
+
+        def _aggregate() -> Iterable[StreamBatch]:
+            for event_batch in batches:
+                yield StreamBatch(
+                    records=extractor.extract(event_batch.events, final=True),
+                    phase=event_batch.phase,
+                    index=event_batch.index,
+                    phase_index=event_batch.phase_index,
+                    mix=event_batch.mix,
+                )
+
+        return self.run_stream(
+            _aggregate(),
+            max_batches=max_batches,
+            num_workers=num_workers,
+            worker_backend=worker_backend,
+            transport=transport,
+        )

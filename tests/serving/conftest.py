@@ -17,12 +17,10 @@ test that nothing the serving layer spawns survives it: no extra
 non-daemon threads, no live child processes, and no shared-memory
 segments still registered by :mod:`repro.serving.transport` — the
 resource-tracker assertion the zero-copy data plane is held to (a
-SIGKILL'd child must not leak its slot ring).
+SIGKILL'd child must not leak its slot ring).  The check itself lives in
+the root ``conftest.py`` (``serving_leak_check``) so the ingest suite's
+ingress tests are held to the same standard.
 """
-
-import multiprocessing
-import threading
-import time
 
 import pytest
 
@@ -33,39 +31,13 @@ from repro.data import (
     load_nslkdd,
     load_unswnb15,
 )
-from repro.serving import transport as serving_transport
 
 
 @pytest.fixture(autouse=True)
-def _no_leaked_serving_resources():
+def _no_leaked_serving_resources(serving_leak_check):
     """Fail any serving test that leaks a thread, a child process or a
-    shared-memory segment past its own teardown."""
-    before_threads = {
-        thread for thread in threading.enumerate() if not thread.daemon
-    }
+    shared-memory segment past its own teardown (see root conftest)."""
     yield
-    # Children obeying a stop sentinel and pool collector threads can take
-    # a beat to finish exiting after close() returns a joined process —
-    # poll briefly before declaring a leak so the check stays deterministic.
-    deadline = time.monotonic() + 5.0
-    while time.monotonic() < deadline:
-        leaked_threads = [
-            thread
-            for thread in threading.enumerate()
-            if not thread.daemon
-            and thread.is_alive()
-            and thread not in before_threads
-        ]
-        leaked_children = multiprocessing.active_children()
-        leaked_segments = serving_transport.live_segments()
-        if not (leaked_threads or leaked_children or leaked_segments):
-            return
-        time.sleep(0.05)
-    assert not leaked_threads, f"test leaked non-daemon threads: {leaked_threads}"
-    assert not leaked_children, f"test leaked child processes: {leaked_children}"
-    assert not leaked_segments, (
-        f"test leaked shared-memory segments: {leaked_segments}"
-    )
 
 
 @pytest.fixture(scope="package")
